@@ -1,0 +1,26 @@
+"""Regenerate Ablation A — which cross-layer load ingredients matter.
+
+Variants: full NLR; queue-signal-only (β=1); busy-ratio-only (β=0);
+own-load-only (α=1, no neighbourhood aggregation); plain AODV.
+Expectation: every NLR variant delivers at least AODV's level at the
+congested reference point, and the full blend is not dominated by either
+single-signal variant.
+"""
+
+from repro.experiments.figures import ablation_metric
+
+from benchmarks.conftest import regenerate
+
+
+def bench_ablation_metric(benchmark):
+    result = regenerate(benchmark, ablation_metric)
+    by_variant = {row[0]: row for row in result.rows}
+    pdr = result.headers.index("pdr")
+    jain = result.headers.index("jain")
+    for variant in ("nlr", "nlr-queue", "nlr-busy", "nlr-own"):
+        # No variant may be dominated by AODV: it must hold delivery within
+        # noise or beat AODV's load-spreading.
+        assert (
+            by_variant[variant][pdr] >= by_variant["aodv"][pdr] - 0.05
+            or by_variant[variant][jain] >= by_variant["aodv"][jain]
+        ), variant

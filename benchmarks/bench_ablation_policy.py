@@ -1,0 +1,25 @@
+"""Regenerate Ablation B — mechanism split of the contribution.
+
+Variants: full NLR; nlr-noprob (load-aware selection only, blind floods);
+nlr-noselect (damped floods only, first-reply selection); plain AODV.
+Expectation: nlr-noprob pays more RREQ overhead than full NLR (no
+damping); each single mechanism keeps part of the benefit.
+"""
+
+from repro.experiments.figures import ablation_policy
+
+from benchmarks.conftest import regenerate
+
+
+def bench_ablation_policy(benchmark):
+    result = regenerate(benchmark, ablation_policy)
+    by_variant = {row[0]: row for row in result.rows}
+    rreq = result.headers.index("rreq_tx")
+    pdr = result.headers.index("pdr")
+    jain = result.headers.index("jain")
+    assert by_variant["nlr-noprob"][rreq] >= by_variant["nlr"][rreq]
+    for variant in ("nlr", "nlr-noprob", "nlr-noselect"):
+        assert (
+            by_variant[variant][pdr] >= by_variant["aodv"][pdr] - 0.05
+            or by_variant[variant][jain] >= by_variant["aodv"][jain]
+        ), variant

@@ -1,0 +1,23 @@
+"""Regenerate the energy extension — communication energy and lifetime.
+
+Extension beyond the reconstructed figures: per-node radio energy
+metering turns the Fig 5 fairness result into a network-lifetime result
+(first-node-death convention).
+"""
+
+from repro.experiments.figures import ext_energy
+
+from benchmarks.conftest import regenerate
+
+
+def bench_ext_energy(benchmark):
+    result = regenerate(benchmark, ext_energy)
+    by_proto = {row[0]: row for row in result.rows}
+    peak = result.headers.index("busiest_node_J")
+    jain = result.headers.index("jain_energy")
+    lifetime = result.headers.index("lifetime_s")
+    # NLR spreads energy: fairer consumption, cooler busiest node, longer
+    # first-node-death lifetime than shortest-hop AODV.
+    assert by_proto["nlr"][jain] > by_proto["aodv"][jain]
+    assert by_proto["nlr"][peak] < by_proto["aodv"][peak]
+    assert by_proto["nlr"][lifetime] > by_proto["aodv"][lifetime]

@@ -1,0 +1,23 @@
+"""Regenerate the mobility extension — PDR and discovery traffic vs speed.
+
+Extension beyond the reconstructed paper figures: random-waypoint motion
+breaks links, so delivery declines and route-repair traffic rises with
+speed for every scheme.
+"""
+
+from repro.experiments.figures import ext_mobility
+
+from benchmarks.conftest import regenerate
+
+
+def bench_ext_mobility(benchmark):
+    result = regenerate(benchmark, ext_mobility)
+    header_idx = {h: i for i, h in enumerate(result.headers)}
+    static, fastest = result.rows[0], result.rows[-1]
+    for proto in ("aodv", "nlr"):
+        pdr = header_idx[f"{proto}_pdr"]
+        assert static[pdr] > 0.9, f"{proto} lossy even when static"
+        assert fastest[pdr] < static[pdr] + 1e-9, f"{proto} unaffected by motion"
+    # Motion must raise AODV's discovery traffic (repairs after breaks).
+    rreq = header_idx["aodv_rreq"]
+    assert fastest[rreq] > static[rreq]

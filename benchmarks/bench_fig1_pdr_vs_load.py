@@ -1,0 +1,29 @@
+"""Regenerate Fig 1 — packet delivery ratio vs offered load.
+
+Paper-shaped expectation: all schemes deliver ≈ everything at light load;
+past the contention knee plain AODV collapses first while the
+probabilistic schemes (gossip / counter / NLR) retain higher delivery,
+with NLR at or above gossip.
+"""
+
+from repro.experiments.figures import fig1_pdr_vs_load
+
+from benchmarks.conftest import regenerate
+
+
+def bench_fig1_pdr_vs_load(benchmark):
+    result = regenerate(benchmark, fig1_pdr_vs_load)
+    header_idx = {h: i for i, h in enumerate(result.headers)}
+    lightest = result.rows[0]
+    heaviest = result.rows[-1]
+    # Light load: everyone ≈ 1.
+    for proto in ("aodv", "gossip", "counter", "nlr"):
+        assert lightest[header_idx[f"{proto}_pdr"]] > 0.9, proto
+    # Heavy load: the knee has been crossed (someone is losing traffic) …
+    assert min(heaviest[1:]) < 0.95
+    # … and at the knee itself NLR delivers at least as much as AODV.
+    knee = result.rows[-2]
+    assert (
+        knee[header_idx["nlr_pdr"]]
+        >= knee[header_idx["aodv_pdr"]] - 0.02
+    )

@@ -1,0 +1,20 @@
+"""Regenerate Fig 2 — mean end-to-end delay vs offered load.
+
+Shares the Fig 1 sweep (cached), so this bench re-renders the delay view.
+Expectation: sub-10 ms for everyone at light load; steep growth past the
+knee, fastest for plain AODV.
+"""
+
+from repro.experiments.figures import fig2_delay_vs_load
+
+from benchmarks.conftest import regenerate
+
+
+def bench_fig2_delay_vs_load(benchmark):
+    result = regenerate(benchmark, fig2_delay_vs_load)
+    header_idx = {h: i for i, h in enumerate(result.headers)}
+    lightest, heaviest = result.rows[0], result.rows[-1]
+    for proto in ("aodv", "gossip", "counter", "nlr"):
+        col = header_idx[f"{proto}_delay_ms"]
+        assert lightest[col] < 60.0, f"{proto} slow at light load"
+        assert heaviest[col] > lightest[col], f"{proto} delay did not grow"

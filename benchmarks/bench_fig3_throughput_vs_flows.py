@@ -1,0 +1,22 @@
+"""Regenerate Fig 3 — aggregate throughput vs number of flows.
+
+Expectation: throughput climbs with flow count until the shared medium
+saturates, then flattens; the probabilistic schemes hold the higher
+plateau.
+"""
+
+from repro.experiments.figures import fig3_throughput_vs_flows
+
+from benchmarks.conftest import regenerate
+
+
+def bench_fig3_throughput_vs_flows(benchmark):
+    result = regenerate(benchmark, fig3_throughput_vs_flows)
+    header_idx = {h: i for i, h in enumerate(result.headers)}
+    for proto in ("aodv", "nlr"):
+        col = header_idx[f"{proto}_kbps"]
+        series = [row[col] for row in result.rows]
+        # more flows must never *reduce* throughput to a trickle …
+        assert series[-1] > 0.3 * max(series)
+        # … and the 2-flow point cannot already be the saturation plateau.
+        assert max(series) > series[0]

@@ -1,0 +1,19 @@
+"""Regenerate Fig 5 — forwarding-load distribution across mesh routers.
+
+Expectation: NLR spreads forwarding over more routers than shortest-hop
+AODV at the congested reference point — higher Jain index, lower top-3
+concentration.
+"""
+
+from repro.experiments.figures import fig5_load_distribution
+
+from benchmarks.conftest import regenerate
+
+
+def bench_fig5_load_distribution(benchmark):
+    result = regenerate(benchmark, fig5_load_distribution)
+    by_proto = {row[0]: row for row in result.rows}
+    jain_col = result.headers.index("jain_index")
+    top3_col = result.headers.index("top3_share")
+    assert by_proto["nlr"][jain_col] > by_proto["aodv"][jain_col]
+    assert by_proto["nlr"][top3_col] < by_proto["aodv"][top3_col]

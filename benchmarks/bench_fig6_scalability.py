@@ -1,0 +1,21 @@
+"""Regenerate Fig 6 — delivery and delay vs network size.
+
+Shares the Fig 4 size sweep (cached).  Expectation: delivery stays usable
+at every evaluated size, delay grows with size for every scheme (longer
+paths, more contention).
+"""
+
+from repro.experiments.figures import fig6_scalability
+
+from benchmarks.conftest import regenerate
+
+
+def bench_fig6_scalability(benchmark):
+    result = regenerate(benchmark, fig6_scalability)
+    header_idx = {h: i for i, h in enumerate(result.headers)}
+    for proto in ("aodv", "nlr"):
+        pdr_col = header_idx[f"{proto}_pdr"]
+        for row in result.rows:
+            assert row[pdr_col] > 0.5, f"{proto} unusable at {row[0]}"
+        ms_col = header_idx[f"{proto}_ms"]
+        assert result.rows[-1][ms_col] > result.rows[0][ms_col]

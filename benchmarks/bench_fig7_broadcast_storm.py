@@ -1,0 +1,21 @@
+"""Regenerate Fig 7 — broadcast-storm reachability vs saved rebroadcasts.
+
+Expectation: blind flooding reaches ≈ everyone and saves nothing; gossip
+saves the most rebroadcasts at some reachability cost; counter-based
+savings grow with density; the load-adaptive policy tracks blind flooding
+on an idle medium (its damping engages under load only).
+"""
+
+from repro.experiments.figures import fig7_broadcast_storm
+
+from benchmarks.conftest import regenerate
+
+
+def bench_fig7_broadcast_storm(benchmark):
+    result = regenerate(benchmark, fig7_broadcast_storm)
+    header_idx = {h: i for i, h in enumerate(result.headers)}
+    densest = result.rows[-1]
+    assert densest[header_idx["blind_reach"]] > 0.9
+    assert densest[header_idx["blind_saved"]] < 0.05
+    assert densest[header_idx["gossip_saved"]] > densest[header_idx["blind_saved"]]
+    assert densest[header_idx["nlr_reach"]] > 0.9  # idle medium ⇒ ≈ blind

@@ -1,0 +1,12 @@
+"""Regenerate Table 1 — the fixed simulation parameters."""
+
+from repro.experiments.figures import table1_parameters
+
+from benchmarks.conftest import regenerate
+
+
+def bench_table1_parameters(benchmark):
+    result = regenerate(benchmark, table1_parameters)
+    values = {row[0] for row in result.rows}
+    assert "Transmission range" in values
+    assert "NLR damping" in values

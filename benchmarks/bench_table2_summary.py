@@ -1,0 +1,22 @@
+"""Regenerate Table 2 — head-to-head summary at the reference point.
+
+Expectation: the oracle bounds delivery from above with zero overhead;
+NLR leads the on-demand schemes on the delivery/fairness combination;
+plain AODV trails.
+"""
+
+from repro.experiments.figures import table2_summary
+
+from benchmarks.conftest import regenerate
+
+
+def bench_table2_summary(benchmark):
+    result = regenerate(benchmark, table2_summary)
+    by_proto = {row[0]: row for row in result.rows}
+    pdr = result.headers.index("pdr")
+    nrl = result.headers.index("nrl")
+    jain = result.headers.index("jain")
+    assert by_proto["oracle"][nrl] == 0.0
+    assert by_proto["oracle"][pdr] >= by_proto["aodv"][pdr] - 0.05
+    assert by_proto["nlr"][pdr] >= by_proto["aodv"][pdr] - 0.05
+    assert by_proto["nlr"][jain] > by_proto["aodv"][jain]

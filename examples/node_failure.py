@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Self-healing demo: crash the busiest relay mid-run and watch recovery.
+
+A corner-to-corner CBR flow crosses a 3×3 mesh.  At t = 10 s the relay
+carrying the traffic is crashed (radio off, MAC flushed, routing silenced);
+at t = 20 s it comes back.  A per-second delivery timeline shows the
+outage, AODV's RERR-driven re-discovery around the dead router, and the
+return to normal.
+
+Run:
+    python examples/node_failure.py
+"""
+
+from repro.experiments.scenario import ScenarioConfig, build_network
+from repro.traffic.flows import FlowSpec
+from repro.traffic.generators import CbrSource
+
+
+def main() -> None:
+    config = ScenarioConfig(
+        protocol="aodv", grid_nx=3, grid_ny=3, n_flows=1,
+        sim_time_s=30.0, warmup_s=1.0, seed=11,
+    )
+    net = build_network(config)
+    net.sources.clear()
+    flow = FlowSpec(flow_id=0, src=0, dst=8, rate_pps=20.0,
+                    start_s=1.0, stop_s=30.0)
+    net.flows = [flow]
+    net.sources.append(
+        CbrSource(net.sim, net.stacks[0], flow, on_send=net.collector.on_send)
+    )
+
+    # Per-second delivery counter at the destination.
+    deliveries_by_second: dict[int, int] = {}
+    original_sink = net.sinks[8]
+
+    def count(packet) -> None:
+        second = int(net.sim.now)
+        deliveries_by_second[second] = deliveries_by_second.get(second, 0) + 1
+        net.collector.on_receive(packet, now=net.sim.now)
+
+    net.stacks[8].receive_callback = count
+    del original_sink
+
+    net.start()
+    net.sim.run(until=10.0)
+    loads = [(s.routing.data_forwarded, s.node_id) for s in net.stacks]
+    _, victim = max(loads)
+    print(f"t=10 s: crashing node {victim} (the relay carrying the flow)")
+    net.stacks[victim].fail()
+    net.sim.schedule(20.0, net.stacks[victim].recover)
+    net.sim.run(until=30.0)
+    net.stop()
+
+    print("\nsecond  delivered  bar")
+    for second in range(1, 30):
+        n = deliveries_by_second.get(second, 0)
+        marker = ""
+        if second == 10:
+            marker = f"   << node {victim} crashes"
+        elif second == 20:
+            marker = f"   << node {victim} recovers"
+        print(f"{second:6d}  {n:9d}  {'#' * n}{marker}")
+
+    rec = net.collector.flows[0]
+    print(
+        f"\noverall: {rec.received}/{rec.sent} delivered "
+        f"(PDR {rec.pdr:.3f}) — the dip after the crash is AODV detecting "
+        "the dead link via MAC retry exhaustion, sending RERR, and "
+        "re-discovering a route around the failed router."
+    )
+
+
+if __name__ == "__main__":
+    main()

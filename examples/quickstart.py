@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: run one wireless-mesh scenario under each routing scheme.
+
+Builds a 4×4 mesh-router grid carrying four CBR flows, runs 20 simulated
+seconds per protocol, and prints the headline metrics side by side.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import ScenarioConfig, run_scenario
+from repro.metrics.summary import format_table
+
+
+def main() -> None:
+    rows = []
+    for protocol in ("aodv", "gossip", "counter", "nlr", "oracle"):
+        config = ScenarioConfig(
+            protocol=protocol,
+            grid_nx=4,
+            grid_ny=4,
+            n_flows=4,
+            flow_rate_pps=10.0,
+            sim_time_s=20.0,
+            warmup_s=3.0,
+            seed=7,
+        )
+        result = run_scenario(config)
+        rows.append(
+            [
+                protocol,
+                round(result.pdr, 4),
+                round(result.mean_delay_s * 1000, 2),
+                round(result.throughput_bps / 1e3, 1),
+                int(result.rreq_tx),
+                round(result.normalized_routing_load, 3),
+                round(result.jain_fairness, 3),
+            ]
+        )
+    print(
+        format_table(
+            ["protocol", "pdr", "delay_ms", "thr_kbps", "rreq", "nrl", "jain"],
+            rows,
+            title="4×4 mesh, 4 CBR flows @ 10 pps, 20 s",
+        )
+    )
+    print(
+        "\nAt light load every scheme delivers ~everything; differences in"
+        "\noverhead (rreq, nrl) already show. Push flow_rate_pps up to ~50+"
+        "\nto watch AODV collapse first — see examples/gateway_congestion.py."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The primary build configuration lives in ``pyproject.toml``.  This shim
+exists so ``pip install -e . --no-use-pep517`` works on environments whose
+setuptools lacks the ``wheel`` package required for PEP-517 editable
+installs (e.g. offline boxes).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""Statistical helpers and analytical models for experiments."""
+
+from repro.analysis.bianchi import (
+    saturation_throughput_bps,
+    transmission_probability,
+)
+from repro.analysis.stats import ConfidenceInterval, mean_ci, summarize
+
+__all__ = [
+    "ConfidenceInterval",
+    "mean_ci",
+    "saturation_throughput_bps",
+    "summarize",
+    "transmission_probability",
+]

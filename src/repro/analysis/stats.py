@@ -1,0 +1,85 @@
+"""Replication statistics: means and Student-t confidence intervals."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+__all__ = ["ConfidenceInterval", "mean_ci", "summarize"]
+
+
+@dataclass(frozen=True, slots=True)
+class ConfidenceInterval:
+    """A sample mean with its symmetric confidence half-width.
+
+    Attributes
+    ----------
+    mean:
+        Sample mean.
+    half_width:
+        Half-width of the confidence interval (0 for n = 1).
+    n:
+        Sample size.
+    level:
+        Confidence level, e.g. 0.95.
+    """
+
+    mean: float
+    half_width: float
+    n: int
+    level: float
+
+    @property
+    def low(self) -> float:
+        """Lower bound."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper bound."""
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.2g}"
+
+
+def mean_ci(values: Sequence[float], level: float = 0.95) -> ConfidenceInterval:
+    """Mean and Student-t confidence interval of ``values``.
+
+    NaNs are dropped (a replication with zero deliveries yields NaN delay).
+
+    >>> ci = mean_ci([1.0, 2.0, 3.0])
+    >>> round(ci.mean, 3)
+    2.0
+    """
+    x = np.asarray(list(values), dtype=float)
+    x = x[~np.isnan(x)]
+    n = len(x)
+    if n == 0:
+        return ConfidenceInterval(math.nan, math.nan, 0, level)
+    m = float(np.mean(x))
+    if n == 1:
+        return ConfidenceInterval(m, 0.0, 1, level)
+    sem = float(np.std(x, ddof=1)) / math.sqrt(n)
+    t = float(sps.t.ppf(0.5 + level / 2.0, df=n - 1))
+    return ConfidenceInterval(m, t * sem, n, level)
+
+
+def summarize(
+    rows: Sequence[dict[str, float]], level: float = 0.95
+) -> dict[str, ConfidenceInterval]:
+    """Per-key :func:`mean_ci` across a list of result dicts.
+
+    Keys missing from some rows are summarised over the rows that have
+    them.
+    """
+    keys: set[str] = set()
+    for r in rows:
+        keys |= set(r)
+    return {
+        k: mean_ci([r[k] for r in rows if k in r], level=level) for k in sorted(keys)
+    }

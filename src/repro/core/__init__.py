@@ -1,0 +1,28 @@
+"""The paper's contribution: cross-layer Neighbourhood Load Routing.
+
+* :mod:`~repro.core.cross_layer` — the per-node signal bus carrying MAC
+  congestion measurements (queue occupancy, channel busy ratio) up to the
+  routing layer without layer-poking.
+* :mod:`~repro.core.load_metric` — EWMA load estimation and the
+  *neighbourhood load* aggregation over HELLO-advertised neighbour loads.
+* :mod:`~repro.core.forwarding_policy` — the load-adaptive probabilistic
+  RREQ-forwarding policy (the "probabilistic flooding tweak").
+* :mod:`~repro.core.nlr` — :class:`~repro.core.nlr.NlrRouting`, the AODV
+  subclass combining the pieces: load-accumulating RREQs, a destination
+  reply window selecting the minimum-cost path, and damped flooding.
+"""
+
+from repro.core.cross_layer import CrossLayerBus, LoadSample
+from repro.core.forwarding_policy import LoadAdaptiveGossip
+from repro.core.load_metric import LoadEstimator, NeighbourhoodLoad
+from repro.core.nlr import NlrConfig, NlrRouting
+
+__all__ = [
+    "CrossLayerBus",
+    "LoadAdaptiveGossip",
+    "LoadEstimator",
+    "LoadSample",
+    "NeighbourhoodLoad",
+    "NlrConfig",
+    "NlrRouting",
+]

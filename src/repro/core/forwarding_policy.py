@@ -1,0 +1,103 @@
+"""The load-adaptive probabilistic RREQ-forwarding policy.
+
+This is the "probabilistic flooding tweak" half of the contribution: a
+node's rebroadcast probability for a route request *decreases with its
+neighbourhood load*, so the discovery flood thins out exactly where the
+network is congested — where redundant RREQs do the most collateral damage
+— while staying near-certain in quiet regions.
+
+.. math::
+
+    p(NL) = \\max(p_{min},\\; p_{max} - \\gamma \\cdot NL)
+
+with two safeguards taken from the probabilistic-broadcast literature (and
+this group's own density-aware schemes):
+
+* the first ``always_first_hops`` hops always forward, so floods cannot
+  die in the source's immediate neighbourhood;
+* nodes with fewer than ``sparse_degree`` neighbours always forward — in
+  sparse regions every rebroadcast may be the only bridge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.net.gossip import PolicyContext, RebroadcastDecision, RebroadcastPolicy
+
+__all__ = ["LoadAdaptiveGossip"]
+
+
+class LoadAdaptiveGossip(RebroadcastPolicy):
+    """Rebroadcast with probability decreasing in neighbourhood load.
+
+    Parameters
+    ----------
+    rng:
+        Generator for the coin flips.
+    p_max:
+        Forwarding probability at zero load.
+    p_min:
+        Floor probability at full load (keeps discovery alive under
+        saturation).
+    gamma:
+        Damping slope: probability lost per unit of neighbourhood load.
+    always_first_hops:
+        Hop radius around the origin that always forwards.
+    sparse_degree:
+        Nodes with strictly fewer neighbours always forward.
+    load_provider:
+        Optional override for the load source; by default the policy reads
+        ``ctx.neighbourhood_load`` supplied by the protocol.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        p_max: float = 1.0,
+        p_min: float = 0.4,
+        gamma: float = 0.6,
+        always_first_hops: int = 1,
+        sparse_degree: int = 3,
+        load_provider: Callable[[], float] | None = None,
+    ) -> None:
+        if not 0.0 < p_min <= p_max <= 1.0:
+            raise ValueError(
+                f"require 0 < p_min <= p_max <= 1, got p_min={p_min!r} p_max={p_max!r}"
+            )
+        if gamma < 0:
+            raise ValueError(f"gamma must be ≥ 0, got {gamma!r}")
+        if always_first_hops < 0 or sparse_degree < 0:
+            raise ValueError("hop/degree safeguards must be ≥ 0")
+        self.rng = rng
+        self.p_max = p_max
+        self.p_min = p_min
+        self.gamma = gamma
+        self.always_first_hops = always_first_hops
+        self.sparse_degree = sparse_degree
+        self.load_provider = load_provider
+        self.name = f"nlr-gossip(γ={gamma:g})"
+        self.forced_forwards = 0
+        self.coin_flips = 0
+
+    def probability(self, load: float) -> float:
+        """Forwarding probability at neighbourhood load ``load``."""
+        return max(self.p_min, self.p_max - self.gamma * max(0.0, min(1.0, load)))
+
+    def decide(self, ctx: PolicyContext) -> RebroadcastDecision:
+        if ctx.hop_count < self.always_first_hops:
+            self.forced_forwards += 1
+            return RebroadcastDecision(forward=True)
+        if ctx.neighbour_count < self.sparse_degree:
+            self.forced_forwards += 1
+            return RebroadcastDecision(forward=True)
+        load = (
+            self.load_provider()
+            if self.load_provider is not None
+            else ctx.neighbourhood_load
+        )
+        self.coin_flips += 1
+        p = self.probability(load)
+        return RebroadcastDecision(forward=bool(self.rng.random() < p))

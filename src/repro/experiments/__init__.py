@@ -1,0 +1,16 @@
+"""Experiment harness: scenarios, replicated runs, sweeps, figure/table
+regeneration, and report rendering."""
+
+from repro.experiments.runner import ScenarioResult, replicate, run_scenario
+from repro.experiments.scenario import Network, ScenarioConfig, build_network
+from repro.experiments.sweeps import sweep
+
+__all__ = [
+    "Network",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "build_network",
+    "replicate",
+    "run_scenario",
+    "sweep",
+]

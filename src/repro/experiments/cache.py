@@ -1,0 +1,61 @@
+"""On-disk result cache for expensive experiment sweeps.
+
+Figure regeneration is deterministic (every run derives from explicit
+seeds), so sweep results are cached as JSON keyed by a hash of the exact
+parameter set.  Re-rendering a figure, or a second figure sharing the same
+sweep (Fig 1/Fig 2 share the offered-load sweep; Fig 4/Fig 6 share the
+network-size sweep), costs nothing after the first computation.
+
+Set the environment variable ``REPRO_NO_CACHE=1`` to bypass reads (writes
+still happen), or delete ``results/cache/`` to invalidate everything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = ["cache_dir", "cached", "cache_key"]
+
+
+def cache_dir() -> Path:
+    """Directory for cached sweep results (created on demand).
+
+    Defaults to ``<repo>/results/cache``; override with ``REPRO_CACHE_DIR``.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        path = Path(env)
+    else:
+        path = Path(__file__).resolve().parents[3] / "results" / "cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def cache_key(name: str, params: dict[str, Any]) -> str:
+    """Stable content hash for a named sweep with ``params``."""
+    blob = json.dumps({"name": name, "params": params}, sort_keys=True, default=str)
+    return f"{name}-{hashlib.sha256(blob.encode()).hexdigest()[:16]}"
+
+
+def cached(
+    name: str, params: dict[str, Any], compute: Callable[[], Any]
+) -> Any:
+    """Return the cached value for ``(name, params)`` or compute and store.
+
+    The value must be JSON-serialisable (figure code stores plain
+    lists/dicts of floats).
+    """
+    path = cache_dir() / f"{cache_key(name, params)}.json"
+    if path.exists() and not os.environ.get("REPRO_NO_CACHE"):
+        with path.open() as fh:
+            return json.load(fh)["value"]
+    value = compute()
+    tmp = path.with_suffix(".tmp")
+    with tmp.open("w") as fh:
+        json.dump({"name": name, "params": params, "value": value}, fh, default=str)
+    tmp.replace(path)
+    return value

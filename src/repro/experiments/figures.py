@@ -1,0 +1,883 @@
+"""Per-figure/table experiment definitions (the reconstructed evaluation).
+
+Each public function regenerates one table or figure from DESIGN.md §3 and
+returns a :class:`FigureResult` — headers + rows of means (±95 % CI) in the
+same layout the paper's figure would plot.  Expensive sweeps are cached on
+disk (see :mod:`repro.experiments.cache`); figure pairs sharing a sweep
+(Fig 1/2 on offered load, Fig 4/6 on network size) compute it once.
+
+Every function accepts ``quick``: the default True uses the reduced
+parameter set sized for CI-class machines (2 replications, 15–25 s of
+simulated time); ``quick=False`` uses the full 5-replication settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.experiments.cache import cached
+from repro.experiments.runner import replicate, run_scenario
+from repro.experiments.scenario import ScenarioConfig
+from repro.metrics.fairness import jain_index, load_concentration
+from repro.metrics.summary import format_table
+
+__all__ = [
+    "FigureResult",
+    "table1_parameters",
+    "fig1_pdr_vs_load",
+    "fig2_delay_vs_load",
+    "fig3_throughput_vs_flows",
+    "fig4_overhead_vs_size",
+    "fig5_load_distribution",
+    "fig6_scalability",
+    "fig7_broadcast_storm",
+    "table2_summary",
+    "ablation_metric",
+    "ablation_policy",
+    "ext_mobility",
+    "ext_rtscts",
+    "ext_energy",
+    "validation_mac",
+    "ALL_FIGURES",
+]
+
+#: Protocols compared in every line-plot figure.
+COMPARED = ("aodv", "gossip", "counter", "nlr")
+
+
+@dataclass(slots=True)
+class FigureResult:
+    """One regenerated table/figure.
+
+    Attributes
+    ----------
+    name, title:
+        Identifier (e.g. ``"fig1"``) and human title.
+    headers:
+        Column names; the first column is the x-axis (or row label).
+    rows:
+        Table body.
+    expectation:
+        The reconstructed paper-shaped claim this figure tests.
+    notes:
+        Free-form commentary on the measured shape.
+    """
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    expectation: str = ""
+    notes: str = ""
+
+    def render(self) -> str:
+        """Monospaced text rendering."""
+        out = format_table(self.headers, self.rows, title=f"{self.name}: {self.title}")
+        if self.expectation:
+            out += f"\nExpected shape: {self.expectation}"
+        if self.notes:
+            out += f"\nNotes: {self.notes}"
+        return out
+
+
+# ---------------------------------------------------------------------- #
+# Shared sweep machinery
+# ---------------------------------------------------------------------- #
+def _reps(quick: bool) -> int:
+    return 2 if quick else 5
+
+
+def _point_reps(quick: bool) -> int:
+    """Single-operating-point experiments are cheap enough for more seeds."""
+    return 3 if quick else 6
+
+
+def _cell(config: ScenarioConfig, n_runs: int) -> dict[str, float]:
+    """Replicate one config; return means + CI half-widths as plain floats."""
+    _, summary = replicate(config, n_runs=n_runs)
+    out: dict[str, float] = {}
+    for key, ci in summary.items():
+        out[key] = ci.mean
+        out[f"{key}_ci"] = ci.half_width
+    return out
+
+
+def _protocol_sweep(
+    sweep_name: str,
+    base: ScenarioConfig,
+    values: Sequence[Any],
+    apply: Callable[[ScenarioConfig, Any], ScenarioConfig],
+    quick: bool,
+    protocols: Sequence[str] = COMPARED,
+    variant: str = "",
+) -> dict[str, dict[str, dict[str, float]]]:
+    """protocol → str(value) → metric dict, computed once and cached.
+
+    ``variant`` must change whenever the *behaviour* of ``apply`` changes —
+    the cache key cannot see inside the callable.
+    """
+    n_runs = _reps(quick)
+    params = {
+        "base": repr(base),
+        "values": list(map(str, values)),
+        "protocols": list(protocols),
+        "n_runs": n_runs,
+        "variant": variant,
+    }
+
+    def compute() -> dict[str, dict[str, dict[str, float]]]:
+        table: dict[str, dict[str, dict[str, float]]] = {}
+        for proto in protocols:
+            table[proto] = {}
+            for value in values:
+                config = replace(apply(base, value), protocol=proto)
+                table[proto][str(value)] = _cell(config, n_runs)
+        return table
+
+    return cached(sweep_name, params, compute)
+
+
+# ---------------------------------------------------------------------- #
+# Operating points
+# ---------------------------------------------------------------------- #
+# Calibrated operating regime (see EXPERIMENTS.md preamble): a 5×5 mesh at
+# 230 m spacing spans ≈2 carrier-sense domains, so spatial reuse exists and
+# load-aware path selection has alternatives to choose between; the
+# contention knee for 10 two-gateway CBR flows sits near 50 pps/flow.
+def _load_sweep_base(quick: bool) -> tuple[ScenarioConfig, list[float]]:
+    base = ScenarioConfig(
+        grid_nx=5, grid_ny=5, spacing_m=230.0, n_flows=10,
+        flow_pattern="gateway", n_gateways=2,
+        sim_time_s=25.0 if quick else 40.0, warmup_s=5.0, seed=100,
+    )
+    rates = [15.0, 30.0, 45.0, 60.0, 75.0]
+    return base, rates
+
+
+def _size_sweep_base(quick: bool) -> tuple[ScenarioConfig, list[int]]:
+    # Rate 40 pps: light for a 3×3 (PDR ≈ 1) but past the knee on a 5×5,
+    # so the "delivery declines with size" shape is visible in-sweep.
+    base = ScenarioConfig(
+        spacing_m=230.0, flow_pattern="random", flow_rate_pps=40.0,
+        sim_time_s=20.0 if quick else 40.0, warmup_s=5.0, seed=200,
+    )
+    sizes = [3, 4, 5] if quick else [3, 4, 5, 6]
+    return base, sizes
+
+
+# The knee (≈50 pps for this mesh/flow mix) is where scheme differences are
+# signal rather than saturation noise; fig5/table2/ablations measure here.
+REFERENCE_POINT = dict(
+    grid_nx=5, grid_ny=5, spacing_m=230.0, n_flows=10,
+    flow_pattern="gateway", n_gateways=2, flow_rate_pps=50.0,
+    warmup_s=5.0, seed=300,
+)
+
+
+def _load_sweep(quick: bool):
+    base, rates = _load_sweep_base(quick)
+    return rates, _protocol_sweep(
+        "load_sweep", base, rates,
+        lambda c, r: replace(c, flow_rate_pps=r), quick,
+    )
+
+
+def _size_sweep(quick: bool):
+    base, sizes = _size_sweep_base(quick)
+
+    # Flows scale with n*n/2, so offered load grows faster than the spatial
+    # reuse a larger grid adds: small grids sit below the knee, large grids
+    # above it - the "delivery declines with size" shape has room to show.
+    def apply(c: ScenarioConfig, n: int) -> ScenarioConfig:
+        return replace(c, grid_nx=n, grid_ny=n, n_flows=max(2, (n * n) // 2))
+
+    return sizes, _protocol_sweep(
+        "size_sweep", base, sizes, apply, quick, variant="flows=n*n//2"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Table 1 — simulation parameters
+# ---------------------------------------------------------------------- #
+def table1_parameters(quick: bool = True) -> FigureResult:
+    """The fixed simulation parameters (paper's Table 1 analogue)."""
+    cfg = ScenarioConfig()
+    rows = [
+        ["Propagation model", "Two-ray ground (ns-2 constants)"],
+        ["Transmission range", "250 m"],
+        ["Carrier-sense range", "550 m"],
+        ["PHY data / basic rate", "11 / 2 Mb/s (802.11b)"],
+        ["MAC", "IEEE 802.11 DCF, CW 31-1023, retry limit 7"],
+        ["Interface queue", f"drop-tail, {cfg.mac_config.queue_capacity} packets"],
+        ["Topology", "n×n mesh grid, 230 m spacing (≈2 CS domains at 5×5)"],
+        ["Traffic", f"CBR over UDP, {cfg.payload_bytes} B payload"],
+        ["HELLO interval", f"{cfg.aodv.hello_interval_s} s"],
+        ["NLR reply window", f"{cfg.nlr.aodv.dest_reply_wait_s * 1000:.0f} ms"],
+        ["NLR load blend", f"β={cfg.nlr.queue_weight} queue / busy"],
+        ["NLR neighbourhood weight", f"α={cfg.nlr.own_weight}"],
+        ["NLR damping", f"p∈[{cfg.nlr.p_min},{cfg.nlr.p_max}], γ={cfg.nlr.gamma}"],
+        ["Replications", f"{_reps(quick)} seeds, mean ± 95% CI"],
+    ]
+    return FigureResult(
+        name="table1",
+        title="Simulation parameters",
+        headers=["Parameter", "Value"],
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Fig 1 / Fig 2 — PDR and delay vs offered load
+# ---------------------------------------------------------------------- #
+def fig1_pdr_vs_load(quick: bool = True) -> FigureResult:
+    """Packet delivery ratio vs per-flow CBR rate (gateway traffic)."""
+    rates, table = _load_sweep(quick)
+    rows = [
+        [rate] + [round(table[p][str(rate)]["pdr"], 4) for p in COMPARED]
+        for rate in rates
+    ]
+    knee = str(rates[-2])
+    note = (
+        f"measured at {knee} pps: nlr {table['nlr'][knee]['pdr']:.3f}, "
+        f"gossip {table['gossip'][knee]['pdr']:.3f}, "
+        f"aodv {table['aodv'][knee]['pdr']:.3f}; the schemes re-converge "
+        "deep in saturation, where every queue overflows regardless of path"
+    )
+    return FigureResult(
+        name="fig1",
+        title="PDR vs offered load (5×5 mesh, 10 two-gateway flows)",
+        headers=["rate_pps"] + [f"{p}_pdr" for p in COMPARED],
+        rows=rows,
+        expectation=(
+            "all schemes ≈1 at light load; beyond the knee (~45-60 pps) "
+            "AODV collapses first, probabilistic schemes (gossip/counter/NLR) "
+            "retain markedly higher delivery"
+        ),
+        notes=note,
+    )
+
+
+def fig2_delay_vs_load(quick: bool = True) -> FigureResult:
+    """Mean end-to-end delay vs per-flow CBR rate (same sweep as Fig 1)."""
+    rates, table = _load_sweep(quick)
+    rows = [
+        [rate]
+        + [round(table[p][str(rate)]["mean_delay_s"] * 1000, 3) for p in COMPARED]
+        for rate in rates
+    ]
+    return FigureResult(
+        name="fig2",
+        title="End-to-end delay vs offered load (ms)",
+        headers=["rate_pps"] + [f"{p}_delay_ms" for p in COMPARED],
+        rows=rows,
+        expectation=(
+            "sub-10 ms for all at light load; past the knee delay inflates "
+            "by ~50× for every scheme (drop-tail queues dominate); the "
+            "surviving differences are second-order"
+        ),
+        notes=(
+            "delivered-packet delay under saturation mostly measures queue "
+            "depth, which is capped; delivery ratio (Fig 1) is the "
+            "discriminating metric past the knee"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Fig 3 — throughput vs number of flows
+# ---------------------------------------------------------------------- #
+def fig3_throughput_vs_flows(quick: bool = True) -> FigureResult:
+    """Aggregate received throughput vs number of gateway flows."""
+    base = ScenarioConfig(
+        grid_nx=5, grid_ny=5, spacing_m=230.0,
+        flow_pattern="gateway", n_gateways=2,
+        flow_rate_pps=40.0, sim_time_s=20.0 if quick else 40.0,
+        warmup_s=5.0, seed=400,
+    )
+    flows = [2, 6, 10, 14]
+    table = _protocol_sweep(
+        "flows_sweep", base, flows,
+        lambda c, n: replace(c, n_flows=n), quick,
+    )
+    rows = [
+        [n]
+        + [
+            round(table[p][str(n)]["throughput_bps"] / 1e3, 1)
+            for p in COMPARED
+        ]
+        for n in flows
+    ]
+    return FigureResult(
+        name="fig3",
+        title="Aggregate throughput vs number of flows (kb/s)",
+        headers=["n_flows"] + [f"{p}_kbps" for p in COMPARED],
+        rows=rows,
+        expectation=(
+            "throughput rises with flows until the collision domain "
+            "saturates, then plateaus/declines; the probabilistic schemes "
+            "sustain the higher plateau"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Fig 4 / Fig 6 — overhead and PDR/delay vs network size
+# ---------------------------------------------------------------------- #
+def fig4_overhead_vs_size(quick: bool = True) -> FigureResult:
+    """Routing overhead (RREQ transmissions, NRL) vs grid size."""
+    sizes, table = _size_sweep(quick)
+    rows = []
+    for n in sizes:
+        row: list[Any] = [f"{n}x{n}"]
+        for p in COMPARED:
+            row.append(round(table[p][str(n)]["rreq_tx"], 1))
+        for p in COMPARED:
+            row.append(round(table[p][str(n)]["normalized_routing_load"], 3))
+        rows.append(row)
+    return FigureResult(
+        name="fig4",
+        title="Routing overhead vs network size",
+        headers=["grid"]
+        + [f"{p}_rreq" for p in COMPARED]
+        + [f"{p}_nrl" for p in COMPARED],
+        rows=rows,
+        expectation=(
+            "RREQ transmissions grow superlinearly with size under blind "
+            "flooding; gossip/counter/NLR cut them by their suppression "
+            "factor, widening with size"
+        ),
+    )
+
+
+def fig6_scalability(quick: bool = True) -> FigureResult:
+    """Delivery and delay vs grid size (same sweep as Fig 4)."""
+    sizes, table = _size_sweep(quick)
+    rows = []
+    for n in sizes:
+        row: list[Any] = [f"{n}x{n}"]
+        for p in COMPARED:
+            row.append(round(table[p][str(n)]["pdr"], 4))
+        for p in COMPARED:
+            row.append(round(table[p][str(n)]["mean_delay_s"] * 1000, 2))
+        rows.append(row)
+    return FigureResult(
+        name="fig6",
+        title="Scalability: PDR and delay (ms) vs network size",
+        headers=["grid"]
+        + [f"{p}_pdr" for p in COMPARED]
+        + [f"{p}_ms" for p in COMPARED],
+        rows=rows,
+        expectation=(
+            "PDR declines and delay grows with size for every scheme; the "
+            "ordering from Fig 1 (NLR/gossip above AODV) is preserved at "
+            "every size"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Fig 5 — load distribution across mesh routers
+# ---------------------------------------------------------------------- #
+def fig5_load_distribution(quick: bool = True) -> FigureResult:
+    """Per-node forwarding-load spread at the reference operating point."""
+    n_runs = _point_reps(quick)
+    params = {"point": REFERENCE_POINT, "n_runs": n_runs, "quick": quick}
+
+    def compute() -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = {}
+        for proto in COMPARED:
+            config = ScenarioConfig(
+                protocol=proto,
+                sim_time_s=20.0 if quick else 40.0,
+                **REFERENCE_POINT,
+            )
+            jains, top3, maxs = [], [], []
+            for k in range(n_runs):
+                r = run_scenario(replace(config, seed=config.seed + k))
+                per_node = np.asarray(r.per_node_forwarded)
+                jains.append(jain_index(per_node))
+                top3.append(load_concentration(per_node, top_k=3))
+                maxs.append(float(per_node.max()))
+            out[proto] = {
+                "jain": float(np.mean(jains)),
+                "top3_share": float(np.mean(top3)),
+                "max_forwarded": float(np.mean(maxs)),
+            }
+        return out
+
+    table = cached("fig5_load_distribution", params, compute)
+    rows = [
+        [
+            p,
+            round(table[p]["jain"], 4),
+            round(table[p]["top3_share"], 4),
+            round(table[p]["max_forwarded"], 1),
+        ]
+        for p in COMPARED
+    ]
+    return FigureResult(
+        name="fig5",
+        title="Forwarding-load distribution at the reference point",
+        headers=["protocol", "jain_index", "top3_share", "max_forwarded"],
+        rows=rows,
+        expectation=(
+            "NLR spreads forwarding over more routers: higher Jain index, "
+            "lower top-3 concentration than shortest-hop AODV"
+        ),
+        notes=(
+            f"measured Jain: nlr {table['nlr']['jain']:.3f} vs aodv "
+            f"{table['aodv']['jain']:.3f}; busiest router forwarded "
+            f"{table['nlr']['max_forwarded']:.0f} (nlr) vs "
+            f"{table['aodv']['max_forwarded']:.0f} (aodv) packets"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Fig 7 — broadcast-storm microcosm
+# ---------------------------------------------------------------------- #
+def fig7_broadcast_storm(quick: bool = True) -> FigureResult:
+    """Flood reachability vs saved rebroadcasts across densities."""
+    from repro.experiments.storm import run_storm
+
+    densities = [20, 35, 50] if quick else [20, 30, 40, 50, 60]
+    policies = ["blind", "gossip", "counter", "nlr"]
+    n_runs = _reps(quick)
+    params = {"densities": densities, "policies": policies, "n_runs": n_runs}
+
+    def compute() -> dict[str, dict[str, dict[str, float]]]:
+        out: dict[str, dict[str, dict[str, float]]] = {}
+        for policy in policies:
+            out[policy] = {}
+            for n in densities:
+                reach, saved = [], []
+                for k in range(n_runs):
+                    res = run_storm(policy=policy, n_nodes=n, seed=500 + k)
+                    reach.append(res["reachability"])
+                    saved.append(res["saved_rebroadcast_ratio"])
+                out[policy][str(n)] = {
+                    "reachability": float(np.mean(reach)),
+                    "saved": float(np.mean(saved)),
+                }
+        return out
+
+    table = cached("fig7_broadcast_storm", params, compute)
+    rows = []
+    for n in densities:
+        row: list[Any] = [n]
+        for p in policies:
+            row.append(round(table[p][str(n)]["reachability"], 4))
+        for p in policies:
+            row.append(round(table[p][str(n)]["saved"], 4))
+        rows.append(row)
+    return FigureResult(
+        name="fig7",
+        title="Broadcast storm: reachability and saved rebroadcasts vs density",
+        headers=["n_nodes"]
+        + [f"{p}_reach" for p in policies]
+        + [f"{p}_saved" for p in policies],
+        rows=rows,
+        expectation=(
+            "blind flooding reaches everyone but saves nothing; gossip and "
+            "counter save 30-60% of rebroadcasts at near-full reachability "
+            "once density is moderate; the load-adaptive policy matches "
+            "blind reachability at low load while saving under load"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Table 2 — head-to-head summary
+# ---------------------------------------------------------------------- #
+def table2_summary(quick: bool = True) -> FigureResult:
+    """All schemes (incl. oracle) at the reference operating point."""
+    protocols = list(COMPARED) + ["dsdv", "oracle"]
+    n_runs = _point_reps(quick)
+    params = {"point": REFERENCE_POINT, "protocols": protocols, "n_runs": n_runs,
+              "quick": quick}
+
+    def compute() -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = {}
+        for proto in protocols:
+            config = ScenarioConfig(
+                protocol=proto,
+                sim_time_s=20.0 if quick else 40.0,
+                **REFERENCE_POINT,
+            )
+            out[proto] = _cell(config, n_runs)
+        return out
+
+    table = cached("table2_summary", params, compute)
+    rows = []
+    for p in protocols:
+        m = table[p]
+        rows.append(
+            [
+                p,
+                round(m["pdr"], 4),
+                round(m["mean_delay_s"] * 1000, 2),
+                round(m["throughput_bps"] / 1e3, 1),
+                round(m["normalized_routing_load"], 3),
+                round(m["jain_fairness"], 4),
+            ]
+        )
+    note = (
+        f"measured: nlr pdr {table['nlr']['pdr']:.3f} "
+        f"(jain {table['nlr']['jain_fairness']:.3f}) vs aodv "
+        f"{table['aodv']['pdr']:.3f} ({table['aodv']['jain_fairness']:.3f}); "
+        f"nlr pays nrl {table['nlr']['normalized_routing_load']:.3f} vs "
+        f"aodv {table['aodv']['normalized_routing_load']:.3f} for its "
+        "periodic re-discovery"
+    )
+    return FigureResult(
+        name="table2",
+        title="Head-to-head at the reference point (50 pps, 10 two-gateway flows)",
+        headers=["protocol", "pdr", "delay_ms", "thr_kbps", "nrl", "jain"],
+        rows=rows,
+        expectation=(
+            "oracle bounds delivery from above with zero overhead; NLR leads "
+            "the on-demand schemes on the delivery + fairness combination, "
+            "paying visibly more control overhead; AODV trails on fairness; "
+            "proactive DSDV pays traffic-independent periodic overhead and "
+            "cannot react to congestion at all"
+        ),
+        notes=note,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Ablations
+# ---------------------------------------------------------------------- #
+def _ablation(
+    name: str, title: str, protocols: Sequence[str], quick: bool, expectation: str
+) -> FigureResult:
+    n_runs = _point_reps(quick)
+    params = {"point": REFERENCE_POINT, "protocols": list(protocols),
+              "n_runs": n_runs, "quick": quick}
+
+    def compute() -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = {}
+        for proto in protocols:
+            config = ScenarioConfig(
+                protocol=proto,
+                sim_time_s=20.0 if quick else 40.0,
+                **REFERENCE_POINT,
+            )
+            out[proto] = _cell(config, n_runs)
+        return out
+
+    table = cached(name, params, compute)
+    rows = []
+    for p in protocols:
+        m = table[p]
+        rows.append(
+            [
+                p,
+                round(m["pdr"], 4),
+                round(m["mean_delay_s"] * 1000, 2),
+                round(m["rreq_tx"], 1),
+                round(m["jain_fairness"], 4),
+            ]
+        )
+    return FigureResult(
+        name=name,
+        title=title,
+        headers=["variant", "pdr", "delay_ms", "rreq_tx", "jain"],
+        rows=rows,
+        expectation=expectation,
+    )
+
+
+def ablation_metric(quick: bool = True) -> FigureResult:
+    """Ablation A: which cross-layer ingredients matter."""
+    return _ablation(
+        "ablation_metric",
+        "Ablation A: load-metric ingredients",
+        ["nlr", "nlr-queue", "nlr-busy", "nlr-own", "aodv"],
+        quick,
+        expectation=(
+            "every load-sensing variant beats AODV on delivery or fairness "
+            "at the knee; the single-signal and own-load-only variants "
+            "cluster near the full blend (the ingredients are partially "
+            "redundant in a mesh whose busy-ratio field is spatially smooth)"
+        ),
+    )
+
+
+def ablation_policy(quick: bool = True) -> FigureResult:
+    """Ablation B: damped flooding vs load-aware selection."""
+    return _ablation(
+        "ablation_policy",
+        "Ablation B: mechanism split",
+        ["nlr", "nlr-noprob", "nlr-noselect", "aodv"],
+        quick,
+        expectation=(
+            "each mechanism alone retains most of the benefit at the knee "
+            "(they overlap: both steer load away from hot regions); "
+            "nlr-noprob pays more RREQ transmissions than full NLR because "
+            "nothing damps its periodic re-discovery floods"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Extension — robustness under node mobility (random waypoint)
+# ---------------------------------------------------------------------- #
+def ext_mobility(quick: bool = True) -> FigureResult:
+    """Extension: delivery and repair traffic vs node speed (RWP).
+
+    Not a reconstructed paper figure — an extension exercising the MANET
+    heritage of the scheme family (the calibration bands situate the paper
+    next to velocity-aware probabilistic route discovery work).  Every node
+    moves under random waypoint; faster motion breaks links more often, so
+    delivery falls and RERR traffic rises for every scheme.
+    """
+    base = ScenarioConfig(
+        topology="random", n_nodes=20, area_m=(900.0, 900.0),
+        n_flows=6, flow_rate_pps=10.0,
+        sim_time_s=20.0 if quick else 40.0, warmup_s=4.0, seed=600,
+    )
+    speeds = [0.0, 4.0, 8.0, 12.0]
+    protocols = ("aodv", "gossip", "nlr")
+
+    def apply(c: ScenarioConfig, v: float) -> ScenarioConfig:
+        if v <= 0:
+            return replace(c, mobility="static")
+        return replace(c, mobility="rwp", speed_range=(max(0.5, v / 2), v))
+
+    table = _protocol_sweep(
+        "mobility_sweep", base, speeds, apply, quick, protocols=protocols
+    )
+    rows = []
+    for v in speeds:
+        row: list[Any] = [v]
+        for p_ in protocols:
+            row.append(round(table[p_][str(v)]["pdr"], 4))
+        for p_ in protocols:
+            row.append(round(table[p_][str(v)]["rreq_tx"], 1))
+        rows.append(row)
+    return FigureResult(
+        name="ext_mobility",
+        title="Extension: PDR and discovery traffic vs node speed (RWP)",
+        headers=["max_speed_mps"]
+        + [f"{p_}_pdr" for p_ in protocols]
+        + [f"{p_}_rreq" for p_ in protocols],
+        rows=rows,
+        expectation=(
+            "monotone delivery decline with speed for every scheme; route "
+            "repair traffic (RREQ) rises with speed; NLR's periodic "
+            "re-discovery makes it naturally repair-ready, keeping its "
+            "delivery within the pack under motion"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Extension — RTS/CTS virtual carrier sense on/off
+# ---------------------------------------------------------------------- #
+def ext_rtscts(quick: bool = True) -> FigureResult:
+    """Extension: does the RTS/CTS handshake pay off at the reference point?
+
+    In a mesh whose 550 m carrier-sense range already covers every hidden
+    pair (ns-2's classic parameterisation — see the MAC tests for the
+    shrunk-CS case where RTS/CTS visibly protects DATA frames), the
+    handshake is pure overhead: four extra control frames per data packet.
+    This experiment quantifies that cost for AODV and NLR.
+    """
+    from repro.mac.csma import MacConfig
+
+    protocols = ("aodv", "nlr")
+    n_runs = _point_reps(quick)
+    params = {"point": REFERENCE_POINT, "protocols": list(protocols),
+              "n_runs": n_runs, "quick": quick}
+
+    def compute() -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = {}
+        for proto in protocols:
+            for rts in (False, True):
+                config = ScenarioConfig(
+                    protocol=proto,
+                    mac_config=MacConfig(rts_cts_enabled=rts),
+                    sim_time_s=20.0 if quick else 40.0,
+                    **REFERENCE_POINT,
+                )
+                out[f"{proto}{'+rts' if rts else ''}"] = _cell(config, n_runs)
+        return out
+
+    table = cached("ext_rtscts", params, compute)
+    rows = []
+    for key in ("aodv", "aodv+rts", "nlr", "nlr+rts"):
+        m = table[key]
+        rows.append(
+            [
+                key,
+                round(m["pdr"], 4),
+                round(m["mean_delay_s"] * 1000, 2),
+                round(m["throughput_bps"] / 1e3, 1),
+            ]
+        )
+    return FigureResult(
+        name="ext_rtscts",
+        title="Extension: RTS/CTS handshake cost at the reference point",
+        headers=["scheme", "pdr", "delay_ms", "thr_kbps"],
+        rows=rows,
+        expectation=(
+            "with 550 m carrier sense there are no hidden pairs to protect, "
+            "so RTS/CTS costs capacity: delivery/throughput drop slightly "
+            "with the handshake on, for both schemes"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Validation — simulated vs analytical DCF saturation throughput
+# ---------------------------------------------------------------------- #
+def validation_mac(quick: bool = True) -> FigureResult:
+    """Substrate validation: DCF saturation throughput vs Bianchi's model.
+
+    Not a paper figure — the simulator credibility check every ns-2-style
+    release performs: n saturated stations around one sink, measured
+    aggregate throughput against Bianchi (JSAC 2000).  Agreement within a
+    few percent validates the carrier-sense/backoff/ACK machinery that all
+    routing results stand on.
+    """
+    from repro.experiments.validation import saturation_comparison
+
+    counts = [2, 5, 10, 15] if quick else [2, 5, 10, 15, 20, 30]
+    duration = 4.0 if quick else 10.0
+    params = {"counts": counts, "duration": duration}
+
+    def compute() -> list[dict[str, float]]:
+        return saturation_comparison(
+            station_counts=counts, duration_s=duration
+        )
+
+    rows_data = cached("validation_mac", params, compute)
+    rows = [
+        [
+            int(r["n"]),
+            round(r["simulated_bps"] / 1e6, 4),
+            round(r["bianchi_bps"] / 1e6, 4),
+            round(r["error_pct"], 2),
+        ]
+        for r in rows_data
+    ]
+    worst = max(abs(r["error_pct"]) for r in rows_data)
+    return FigureResult(
+        name="validation_mac",
+        title="DCF saturation throughput: simulator vs Bianchi model (Mb/s)",
+        headers=["n_stations", "simulated_mbps", "bianchi_mbps", "error_pct"],
+        rows=rows,
+        expectation=(
+            "simulated saturation throughput tracks the analytical curve "
+            "within a few percent at every station count; throughput peaks "
+            "at small n and declines slowly as collisions grow"
+        ),
+        notes=f"worst-case deviation from the model: {worst:.1f}%",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Extension — communication energy and network lifetime
+# ---------------------------------------------------------------------- #
+def ext_energy(quick: bool = True) -> FigureResult:
+    """Extension: does load spreading translate into network lifetime?
+
+    Radios are metered with the classic WLAN power profile (idle draw
+    zeroed: it is identical across schemes and would swamp the comparison).
+    Reported per scheme at the reference point: the busiest node's
+    communication energy, Jain fairness over per-node energy, and the
+    *projected lifetime* — how long a battery of fixed size would last at
+    the busiest node's burn rate (first-node-death convention).
+    """
+    from repro.experiments.runner import collect_result
+    from repro.experiments.scenario import build_network
+    from repro.metrics.fairness import jain_index
+    from repro.phy.energy import EnergyConfig, attach_energy_meters
+
+    protocols = ("aodv", "gossip", "nlr")
+    n_runs = _point_reps(quick)
+    sim_time = 20.0 if quick else 40.0
+    battery_j = 100.0
+    params = {"point": REFERENCE_POINT, "protocols": list(protocols),
+              "n_runs": n_runs, "sim_time": sim_time, "battery": battery_j}
+
+    def compute() -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = {}
+        for proto in protocols:
+            max_j, jain_vals, lifetimes, pdrs = [], [], [], []
+            for k in range(n_runs):
+                config = ScenarioConfig(
+                    protocol=proto, sim_time_s=sim_time,
+                    **{**REFERENCE_POINT, "seed": REFERENCE_POINT["seed"] + k},
+                )
+                net = build_network(config)
+                meters = attach_energy_meters(
+                    net, EnergyConfig(idle_w=0.0)
+                )
+                net.start()
+                net.sim.run(until=sim_time)
+                net.stop()
+                consumed = [m.consumed_j() for m in meters.values()]
+                peak = max(consumed)
+                max_j.append(peak)
+                jain_vals.append(jain_index(consumed))
+                lifetimes.append(battery_j / (peak / sim_time))
+                pdrs.append(collect_result(net).pdr)
+            out[proto] = {
+                "max_j": float(np.mean(max_j)),
+                "jain_energy": float(np.mean(jain_vals)),
+                "lifetime_s": float(np.mean(lifetimes)),
+                "pdr": float(np.mean(pdrs)),
+            }
+        return out
+
+    table = cached("ext_energy", params, compute)
+    rows = [
+        [
+            p_,
+            round(table[p_]["pdr"], 4),
+            round(table[p_]["max_j"], 2),
+            round(table[p_]["jain_energy"], 4),
+            round(table[p_]["lifetime_s"], 0),
+        ]
+        for p_ in protocols
+    ]
+    best = max(protocols, key=lambda p_: table[p_]["lifetime_s"])
+    return FigureResult(
+        name="ext_energy",
+        title="Extension: communication energy and projected lifetime "
+              f"({battery_j:.0f} J battery, first-node-death)",
+        headers=["protocol", "pdr", "busiest_node_J", "jain_energy",
+                 "lifetime_s"],
+        rows=rows,
+        expectation=(
+            "NLR's load spreading lowers the busiest node's burn rate, so "
+            "the first-node-death lifetime extends relative to shortest-hop "
+            "AODV at equal-or-better delivery"
+        ),
+        notes=f"longest projected lifetime: {best}",
+    )
+
+
+#: Registry used by the CLI and the EXPERIMENTS.md generator.
+ALL_FIGURES: dict[str, Callable[[bool], FigureResult]] = {
+    "table1": table1_parameters,
+    "fig1": fig1_pdr_vs_load,
+    "fig2": fig2_delay_vs_load,
+    "fig3": fig3_throughput_vs_flows,
+    "fig4": fig4_overhead_vs_size,
+    "fig5": fig5_load_distribution,
+    "fig6": fig6_scalability,
+    "fig7": fig7_broadcast_storm,
+    "table2": table2_summary,
+    "ablation_metric": ablation_metric,
+    "ablation_policy": ablation_policy,
+    "ext_mobility": ext_mobility,
+    "ext_rtscts": ext_rtscts,
+    "ext_energy": ext_energy,
+    "validation_mac": validation_mac,
+}

@@ -1,0 +1,116 @@
+"""Run scenarios, collect results, replicate across seeds."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.analysis.stats import ConfidenceInterval, summarize
+from repro.experiments.scenario import Network, ScenarioConfig, build_network
+from repro.metrics.collectors import network_totals
+from repro.metrics.fairness import forwarding_load, jain_index
+
+__all__ = ["ScenarioResult", "run_scenario", "replicate"]
+
+
+@dataclass(slots=True)
+class ScenarioResult:
+    """Measured outcomes of one simulation run.
+
+    The scalar fields are the quantities the reconstructed figures plot;
+    ``totals`` holds the full counter dump and ``per_node_forwarded`` the
+    load-distribution vector (Fig 5).
+    """
+
+    config: ScenarioConfig
+    pdr: float
+    mean_delay_s: float
+    throughput_bps: float
+    mean_hops: float
+    rreq_tx: float
+    control_packets: float
+    control_bytes: float
+    normalized_routing_load: float
+    jain_fairness: float
+    packets_sent: int
+    packets_received: int
+    per_node_forwarded: np.ndarray
+    totals: dict[str, float] = field(default_factory=dict)
+    events_executed: int = 0
+    wallclock_s: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Scalar metrics as a flat dict (for summarising/sweeps)."""
+        return {
+            "pdr": self.pdr,
+            "mean_delay_s": self.mean_delay_s,
+            "throughput_bps": self.throughput_bps,
+            "mean_hops": self.mean_hops,
+            "rreq_tx": self.rreq_tx,
+            "control_packets": self.control_packets,
+            "control_bytes": self.control_bytes,
+            "normalized_routing_load": self.normalized_routing_load,
+            "jain_fairness": self.jain_fairness,
+        }
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Build, run, and measure one scenario."""
+    t0 = time.perf_counter()
+    net = build_network(config)
+    net.start()
+    net.sim.run(until=config.sim_time_s)
+    net.stop()
+    return collect_result(net, wallclock_s=time.perf_counter() - t0)
+
+
+def collect_result(net: Network, wallclock_s: float = 0.0) -> ScenarioResult:
+    """Extract a :class:`ScenarioResult` from a finished network."""
+    config = net.config
+    collector = net.collector
+    totals = network_totals(net.stacks)
+    span = config.sim_time_s - config.warmup_s
+    per_node = forwarding_load(net.protocols)
+    delay = collector.mean_delay_s()
+    return ScenarioResult(
+        config=config,
+        pdr=collector.overall_pdr(),
+        mean_delay_s=delay if delay == delay else math.nan,
+        throughput_bps=collector.aggregate_throughput_bps(span),
+        mean_hops=collector.mean_hops(),
+        rreq_tx=totals["rreq_tx"],
+        control_packets=totals["control_packets"],
+        control_bytes=totals["control_bytes"],
+        normalized_routing_load=totals["normalized_routing_load"],
+        jain_fairness=jain_index(per_node),
+        packets_sent=collector.total_sent,
+        packets_received=collector.total_received,
+        per_node_forwarded=per_node,
+        totals=totals,
+        events_executed=net.sim.events_executed,
+        wallclock_s=wallclock_s,
+    )
+
+
+def replicate(
+    config: ScenarioConfig,
+    n_runs: int = 5,
+    base_seed: int | None = None,
+    level: float = 0.95,
+) -> tuple[list[ScenarioResult], dict[str, ConfidenceInterval]]:
+    """Run ``config`` under ``n_runs`` seeds; return runs + mean ± CI.
+
+    Seeds are ``base_seed + k`` (default base: ``config.seed``), so a
+    replication set is itself reproducible.
+    """
+    if n_runs < 1:
+        raise ValueError(f"need ≥ 1 run, got {n_runs}")
+    base = config.seed if base_seed is None else base_seed
+    results = [
+        run_scenario(replace(config, seed=base + k)) for k in range(n_runs)
+    ]
+    summary = summarize([r.as_dict() for r in results], level=level)
+    return results, summary

@@ -1,0 +1,82 @@
+"""Scenario config ⇄ JSON serialisation.
+
+Lets a run's exact configuration travel with its results (reproducibility)
+and lets the CLI accept ``--config scenario.json``.  Nested config
+dataclasses (PHY, MAC, AODV, NLR) round-trip too; unknown keys are
+rejected loudly rather than silently ignored, so stale config files fail
+fast instead of silently running something else.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.nlr import NlrConfig
+from repro.experiments.scenario import ScenarioConfig
+from repro.mac.csma import MacConfig
+from repro.net.aodv import AodvConfig
+from repro.phy.radio import PhyConfig
+
+__all__ = ["config_to_dict", "config_from_dict", "save_config", "load_config"]
+
+_NESTED_TYPES = {
+    "phy": PhyConfig,
+    "mac_config": MacConfig,
+    "aodv": AodvConfig,
+    "nlr": NlrConfig,
+}
+
+
+def _dataclass_to_dict(obj: Any) -> Any:
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _dataclass_to_dict(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, tuple):
+        return list(obj)
+    return obj
+
+
+def config_to_dict(config: ScenarioConfig) -> dict[str, Any]:
+    """Plain JSON-ready dict capturing every field of ``config``."""
+    return _dataclass_to_dict(config)
+
+
+def _build(cls: type, data: dict[str, Any]) -> Any:
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - field_names
+    if unknown:
+        raise ValueError(f"unknown {cls.__name__} keys: {sorted(unknown)}")
+    kwargs: dict[str, Any] = {}
+    for name, value in data.items():
+        if name in _NESTED_TYPES and isinstance(value, dict):
+            # Covers ScenarioConfig.{phy,mac_config,aodv,nlr} and, because
+            # _build recurses, NlrConfig's own nested aodv too.
+            kwargs[name] = _build(_NESTED_TYPES[name], value)
+        elif isinstance(value, list) and name in ("area_m", "speed_range"):
+            kwargs[name] = tuple(value)
+        else:
+            kwargs[name] = value
+    return cls(**kwargs)
+
+
+def config_from_dict(data: dict[str, Any]) -> ScenarioConfig:
+    """Reconstruct a :class:`ScenarioConfig`, validating every key."""
+    return _build(ScenarioConfig, data)
+
+
+def save_config(config: ScenarioConfig, path: str | Path) -> Path:
+    """Write ``config`` as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(config_to_dict(config), indent=2) + "\n")
+    return path
+
+
+def load_config(path: str | Path) -> ScenarioConfig:
+    """Load a :class:`ScenarioConfig` from a JSON file."""
+    with Path(path).open() as fh:
+        return config_from_dict(json.load(fh))

@@ -1,0 +1,29 @@
+"""MAC substrate: IEEE 802.11 DCF CSMA/CA, queues, and the busy monitor.
+
+* :mod:`~repro.mac.mac_types` — MAC frame formats and addressing constants.
+* :mod:`~repro.mac.queue` — drop-tail interface queue with time-weighted
+  occupancy statistics (one of the two cross-layer load signals).
+* :mod:`~repro.mac.busy_monitor` — sliding-window channel-busy-ratio
+  tracker (the other cross-layer load signal).
+* :mod:`~repro.mac.csma` — the DCF state machine: DIFS/SIFS, slotted binary
+  exponential backoff with freezing, unicast ACK + retries, broadcast.
+* :mod:`~repro.mac.perfect` — an idealised collision-free MAC used to test
+  routing logic in isolation from contention effects.
+"""
+
+from repro.mac.busy_monitor import BusyMonitor
+from repro.mac.csma import CsmaMac, MacConfig
+from repro.mac.mac_types import BROADCAST_MAC, MacFrame, MacFrameKind
+from repro.mac.perfect import PerfectMac
+from repro.mac.queue import DropTailQueue
+
+__all__ = [
+    "BROADCAST_MAC",
+    "BusyMonitor",
+    "CsmaMac",
+    "DropTailQueue",
+    "MacConfig",
+    "MacFrame",
+    "MacFrameKind",
+    "PerfectMac",
+]

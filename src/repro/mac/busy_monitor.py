@@ -1,0 +1,81 @@
+"""Sliding-window channel-busy-ratio tracker.
+
+The busy ratio — fraction of recent wall-clock time the medium was sensed
+busy (own TX, locked RX, or energy above the carrier-sense threshold) — is
+the cross-layer signal that distinguishes *neighbourhood* congestion from
+own-queue congestion: a node with an empty queue parked next to a busy
+gateway still reports a high busy ratio.
+
+The monitor is fed busy/idle *transitions* (from the radio's CCA callback
+chain) and answers ``busy_ratio()`` over a configurable trailing window,
+pruning intervals that age out.  Cost is O(transitions in window).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.sim.engine import Simulator
+
+__all__ = ["BusyMonitor"]
+
+
+class BusyMonitor:
+    """Tracks the fraction of time the medium was busy over a window.
+
+    Parameters
+    ----------
+    sim:
+        Simulator, for timestamps.
+    window_s:
+        Trailing window length (seconds).  The group's cross-layer papers
+        use ~1 s windows so the signal tracks offered-load changes quickly
+        without chattering per-frame.
+    """
+
+    def __init__(self, sim: Simulator, window_s: float = 1.0) -> None:
+        if window_s <= 0:
+            raise ValueError(f"window must be positive, got {window_s!r}")
+        self.sim = sim
+        self.window_s = window_s
+        self._intervals: deque[tuple[float, float]] = deque()
+        self._busy_since: float | None = None
+        self._created = sim.now
+
+    def on_medium_state(self, busy: bool) -> None:
+        """Feed a busy/idle transition (idempotent on repeats)."""
+        now = self.sim.now
+        if busy:
+            if self._busy_since is None:
+                self._busy_since = now
+        else:
+            if self._busy_since is not None:
+                if now > self._busy_since:
+                    self._intervals.append((self._busy_since, now))
+                self._busy_since = None
+        self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window_s
+        while self._intervals and self._intervals[0][1] <= horizon:
+            self._intervals.popleft()
+
+    def busy_ratio(self) -> float:
+        """Busy fraction over the trailing window, in [0, 1]."""
+        now = self.sim.now
+        self._prune(now)
+        horizon = now - self.window_s
+        busy = 0.0
+        for start, end in self._intervals:
+            busy += end - max(start, horizon)
+        if self._busy_since is not None:
+            busy += now - max(self._busy_since, horizon)
+        # Early in the run the window extends before t=created; normalise
+        # by the observed span so start-up does not read artificially idle.
+        span = min(self.window_s, max(now - self._created, 1e-12))
+        return min(1.0, busy / span)
+
+    @property
+    def currently_busy(self) -> bool:
+        """True if the last transition reported busy."""
+        return self._busy_since is not None

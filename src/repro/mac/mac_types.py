@@ -1,0 +1,100 @@
+"""MAC frame formats and addressing constants."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["BROADCAST_MAC", "MacFrame", "MacFrameKind"]
+
+#: Link-layer broadcast address (all-ones in a real header).
+BROADCAST_MAC = -1
+
+#: 802.11 data header + LLC/SNAP + FCS, as ns-2 accounts it (bytes).
+DATA_OVERHEAD_BYTES = 34
+
+#: 802.11 ACK frame size (bytes).
+ACK_BYTES = 14
+
+#: 802.11 RTS frame size (bytes).
+RTS_BYTES = 20
+
+#: 802.11 CTS frame size (bytes).
+CTS_BYTES = 14
+
+
+class MacFrameKind(enum.Enum):
+    """Frame types used by the DCF MAC."""
+
+    DATA = "data"
+    ACK = "ack"
+    RTS = "rts"
+    CTS = "cts"
+
+
+@dataclass(slots=True)
+class MacFrame:
+    """A link-layer frame.
+
+    Attributes
+    ----------
+    kind:
+        DATA or ACK.
+    src, dst:
+        Node ids; ``dst == BROADCAST_MAC`` for broadcast.
+    seq:
+        Per-sender sequence number (duplicate detection of retransmissions).
+    payload:
+        Network-layer packet carried (None for ACK).
+    payload_bytes:
+        Size of the network payload in bytes (0 for ACK).
+    retry:
+        True on retransmission attempts.
+    duration_s:
+        NAV value: how long (after this frame ends) the medium is reserved
+        for the remainder of the exchange.  Overhearers defer for it
+        (virtual carrier sense); 0 when RTS/CTS is not in use.
+    """
+
+    kind: MacFrameKind
+    src: int
+    dst: int
+    seq: int
+    payload: Any = None
+    payload_bytes: int = 0
+    retry: bool = False
+    duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError(f"payload size must be ≥ 0, got {self.payload_bytes}")
+        if self.kind is not MacFrameKind.DATA and self.dst == BROADCAST_MAC:
+            raise ValueError(f"{self.kind.value} frames cannot be broadcast")
+        if self.duration_s < 0:
+            raise ValueError(f"duration must be ≥ 0, got {self.duration_s!r}")
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for link-layer broadcast frames."""
+        return self.dst == BROADCAST_MAC
+
+    @property
+    def size_bytes(self) -> int:
+        """On-air size including MAC overhead."""
+        if self.kind is MacFrameKind.ACK:
+            return ACK_BYTES
+        if self.kind is MacFrameKind.RTS:
+            return RTS_BYTES
+        if self.kind is MacFrameKind.CTS:
+            return CTS_BYTES
+        return DATA_OVERHEAD_BYTES + self.payload_bytes
+
+    @property
+    def size_bits(self) -> int:
+        """On-air size in bits."""
+        return self.size_bytes * 8
+
+    def dedupe_key(self) -> tuple[int, int]:
+        """(src, seq) key identifying retransmitted copies."""
+        return (self.src, self.seq)

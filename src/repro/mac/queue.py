@@ -1,0 +1,88 @@
+"""Drop-tail interface queue with time-weighted occupancy statistics.
+
+The queue's *occupancy ratio* (time-averaged length / capacity) is one of
+the two cross-layer congestion signals NLR consumes, so the queue keeps an
+exact time-weighted occupancy integral rather than sampling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.engine import Simulator
+
+__all__ = ["DropTailQueue"]
+
+
+class DropTailQueue:
+    """Bounded FIFO that drops arrivals when full.
+
+    Parameters
+    ----------
+    sim:
+        Simulator (for time-weighted statistics).
+    capacity:
+        Maximum number of queued items (ns-2 ifq default is 50).
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 50) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be ≥ 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self.enqueued = 0
+        self.dropped = 0
+        self.dequeued = 0
+        self._occ_integral = 0.0  # ∫ len dt
+        self._last_change = sim.now
+        self._created = sim.now
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._occ_integral += len(self._items) * (now - self._last_change)
+        self._last_change = now
+
+    def push(self, item: Any) -> bool:
+        """Enqueue ``item``; returns False (and counts a drop) when full."""
+        self._account()
+        if len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append(item)
+        self.enqueued += 1
+        return True
+
+    def pop(self) -> Any | None:
+        """Dequeue the head item, or None when empty."""
+        self._account()
+        if not self._items:
+            return None
+        self.dequeued += 1
+        return self._items.popleft()
+
+    def peek(self) -> Any | None:
+        """Head item without removing it, or None when empty."""
+        return self._items[0] if self._items else None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def occupancy_ratio(self) -> float:
+        """Instantaneous fill level in [0, 1] — the cross-layer signal."""
+        return len(self._items) / self.capacity
+
+    def mean_occupancy(self) -> float:
+        """Time-averaged queue length since construction."""
+        self._account()
+        total_time = self.sim.now - self._created
+        if total_time <= 0:
+            return float(len(self._items))
+        return self._occ_integral / total_time
+
+    def drop_ratio(self) -> float:
+        """Fraction of arrivals dropped (0 when nothing arrived)."""
+        arrivals = self.enqueued + self.dropped
+        return self.dropped / arrivals if arrivals else 0.0

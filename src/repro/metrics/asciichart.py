@@ -1,0 +1,102 @@
+"""Terminal line charts for experiment output.
+
+The examples and the CLI render result series as compact ASCII charts so
+the reconstructed figures are *viewable* without any plotting dependency
+(the repository is matplotlib-free by design).  One chart plots several
+named series over a shared x-axis with distinct glyphs and a legend.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["line_chart"]
+
+#: Glyphs assigned to series in order.
+GLYPHS = "ox+*#@%&"
+
+
+def _format_tick(v: float) -> str:
+    if v == int(v) and abs(v) < 1e6:
+        return str(int(v))
+    return f"{v:.3g}"
+
+
+def line_chart(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render named y-series against shared ``x`` as an ASCII chart.
+
+    NaNs are skipped.  Points that would land on the same cell keep the
+    glyph of the first series plotted there (legend order = dict order).
+
+    >>> out = line_chart([0, 1, 2], {"a": [0.0, 0.5, 1.0]}, width=20, height=5)
+    >>> "a" in out and "o" in out
+    True
+    """
+    if not x or not series:
+        raise ValueError("need at least one x value and one series")
+    if len(series) > len(GLYPHS):
+        raise ValueError(f"at most {len(GLYPHS)} series supported")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points but x has {len(x)}"
+            )
+    if width < 10 or height < 4:
+        raise ValueError("chart must be at least 10×4 cells")
+
+    finite = [
+        v for ys in series.values() for v in ys if not math.isnan(v)
+    ]
+    if not finite:
+        raise ValueError("all series values are NaN")
+    y_min, y_max = min(finite), max(finite)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x), max(x)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, ys) in zip(GLYPHS, series.items()):
+        for xi, yi in zip(x, ys):
+            if math.isnan(yi):
+                continue
+            col = round((xi - x_min) / (x_max - x_min) * (width - 1))
+            row = round((yi - y_min) / (y_max - y_min) * (height - 1))
+            cell = height - 1 - row
+            if grid[cell][col] == " ":
+                grid[cell][col] = glyph
+
+    top = _format_tick(y_max)
+    bottom = _format_tick(y_min)
+    margin = max(len(top), len(bottom), len(y_label)) + 1
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for r, row_cells in enumerate(grid):
+        if r == 0:
+            label = top
+        elif r == height - 1:
+            label = bottom
+        elif r == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{margin}} |" + "".join(row_cells))
+    lines.append(" " * margin + " +" + "-" * width)
+    x_axis = f"{_format_tick(x_min)}{' ' * max(1, width - 12)}{_format_tick(x_max)}"
+    lines.append(" " * margin + "  " + x_axis + (f"  {x_label}" if x_label else ""))
+    legend = "   ".join(
+        f"{glyph}={name}" for glyph, name in zip(GLYPHS, series)
+    )
+    lines.append(" " * margin + "  " + legend)
+    return "\n".join(lines)

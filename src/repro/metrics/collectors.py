@@ -1,0 +1,65 @@
+"""Network-wide counter aggregation from protocol/MAC instances."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import NodeStack
+
+__all__ = ["network_totals"]
+
+
+def network_totals(stacks: Iterable["NodeStack"]) -> dict[str, float]:
+    """Sum routing/MAC counters across a network's node stacks.
+
+    Returns a flat mapping with, among others:
+
+    * ``rreq_tx`` / ``rrep_tx`` / ``rerr_tx`` / ``hello_tx`` — control
+      packet transmissions by type;
+    * ``control_packets`` / ``control_bytes`` — totals;
+    * ``data_forwarded`` / ``data_originated`` — DATA plane activity;
+    * ``drops_no_route`` / ``drops_ttl`` — routing drops;
+    * ``mac_data_tx`` / ``mac_retries`` / ``mac_retry_drops`` /
+      ``mac_queue_drops`` — link-layer activity (zero under PerfectMac);
+    * ``normalized_routing_load`` — control packets per delivered-ish DATA
+      transmission (control / max(1, data_forwarded + data_originated)).
+    """
+    totals = {
+        "rreq_tx": 0.0,
+        "rrep_tx": 0.0,
+        "rerr_tx": 0.0,
+        "hello_tx": 0.0,
+        "control_packets": 0.0,
+        "control_bytes": 0.0,
+        "data_forwarded": 0.0,
+        "data_originated": 0.0,
+        "drops_no_route": 0.0,
+        "drops_ttl": 0.0,
+        "mac_data_tx": 0.0,
+        "mac_retries": 0.0,
+        "mac_retry_drops": 0.0,
+        "mac_queue_drops": 0.0,
+    }
+    for stack in stacks:
+        r = stack.routing
+        for kind in ("rreq", "rrep", "rerr", "hello"):
+            totals[f"{kind}_tx"] += r.control_tx[kind]
+        totals["control_bytes"] += r.control_bytes_tx
+        totals["data_forwarded"] += r.data_forwarded
+        totals["data_originated"] += r.data_originated
+        totals["drops_no_route"] += r.data_dropped_no_route
+        totals["drops_ttl"] += r.data_dropped_ttl
+        mac = stack.mac
+        totals["mac_data_tx"] += getattr(mac, "data_tx", 0)
+        totals["mac_retries"] += getattr(mac, "retries_total", 0)
+        totals["mac_retry_drops"] += getattr(mac, "drops_retry", 0)
+        queue = getattr(mac, "queue", None)
+        if queue is not None:
+            totals["mac_queue_drops"] += queue.dropped
+    totals["control_packets"] = (
+        totals["rreq_tx"] + totals["rrep_tx"] + totals["rerr_tx"] + totals["hello_tx"]
+    )
+    denom = max(1.0, totals["data_forwarded"] + totals["data_originated"])
+    totals["normalized_routing_load"] = totals["control_packets"] / denom
+    return totals

@@ -1,0 +1,56 @@
+"""Plain-text table rendering for reports and benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(v: Any, precision: int = 4) -> str:
+    """Render one cell: floats to ``precision`` significant digits."""
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "nan"
+        return f"{v:.{precision}g}"
+    return str(v)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospaced table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5], [10, 0.123456]]))
+    a  | b
+    ---+-------
+    1  | 2.5
+    10 | 0.1235
+    """
+    cells = [[format_value(v, precision) for v in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[i])), max((len(r[i]) for r in cells), default=0))
+        for i in range(len(headers))
+    ]
+    def fmt_row(vals: Sequence[str]) -> str:
+        return " | ".join(v.ljust(widths[i]) for i, v in enumerate(vals)).rstrip()
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in cells)
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Periodic time-series sampling of arbitrary probes."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """Samples named probes at a fixed period.
+
+    Parameters
+    ----------
+    sim:
+        Event engine.
+    period_s:
+        Sampling period.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> ts = TimeSeries(sim, period_s=1.0)
+    >>> ts.add_probe("clock", lambda: sim.now)
+    >>> ts.start(); sim.run(until=3.0); ts.stop()
+    >>> ts.values("clock")
+    [1.0, 2.0, 3.0]
+    """
+
+    def __init__(self, sim: Simulator, period_s: float = 1.0) -> None:
+        self.sim = sim
+        self._probes: dict[str, Callable[[], float]] = {}
+        self._times: list[float] = []
+        self._data: dict[str, list[float]] = {}
+        self._proc = PeriodicProcess(sim, period_s, self._sample)
+
+    def add_probe(self, name: str, fn: Callable[[], float]) -> None:
+        """Register probe ``name`` sampled as ``fn()`` each period."""
+        if name in self._probes:
+            raise ValueError(f"probe {name!r} already registered")
+        self._probes[name] = fn
+        self._data[name] = []
+
+    def start(self) -> None:
+        """Begin sampling."""
+        self._proc.start()
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        self._proc.stop()
+
+    def _sample(self) -> None:
+        self._times.append(self.sim.now)
+        for name, fn in self._probes.items():
+            self._data[name].append(float(fn()))
+
+    @property
+    def times(self) -> list[float]:
+        """Sample timestamps."""
+        return list(self._times)
+
+    def values(self, name: str) -> list[float]:
+        """Samples of probe ``name``."""
+        return list(self._data[name])
+
+    def as_array(self, name: str) -> np.ndarray:
+        """Samples of probe ``name`` as a float array."""
+        return np.asarray(self._data[name], dtype=float)

@@ -1,0 +1,69 @@
+"""Network layer: packets, routing machinery, and the baseline protocols.
+
+* :mod:`~repro.net.addressing` — node addresses and broadcast constants.
+* :mod:`~repro.net.packet` — network packet and protocol header formats.
+* :mod:`~repro.net.routing_base` — routing-table machinery and the
+  :class:`~repro.net.routing_base.RoutingProtocol` interface every scheme
+  implements.
+* :mod:`~repro.net.hello` — HELLO beaconing and neighbour tables (with a
+  piggyback hook the NLR load advertisement plugs into).
+* :mod:`~repro.net.gossip` — rebroadcast-suppression policies: blind
+  flooding, fixed-probability gossip, counter-based.
+* :mod:`~repro.net.flooding` — a standalone network-wide broadcast service
+  for the broadcast-storm experiments.
+* :mod:`~repro.net.aodv` — the AODV on-demand routing engine (RREQ / RREP /
+  RERR, sequence numbers, buffering, link-failure handling).
+* :mod:`~repro.net.static_routing` — Dijkstra oracle routing over the true
+  connectivity graph (sanity baseline).
+* :mod:`~repro.net.node` — the per-node protocol stack composition.
+"""
+
+from repro.net.addressing import BROADCAST_ADDR, NodeAddress
+from repro.net.aodv import AodvConfig, AodvRouting
+from repro.net.dsdv import DsdvConfig, DsdvRouting
+from repro.net.flooding import BroadcastService
+from repro.net.gossip import (
+    BlindFlooding,
+    CounterBasedPolicy,
+    FixedProbabilityGossip,
+    RebroadcastPolicy,
+)
+from repro.net.hello import HelloService, NeighbourTable
+from repro.net.node import NodeStack
+from repro.net.packet import (
+    HelloHeader,
+    Packet,
+    PacketKind,
+    RerrHeader,
+    RrepHeader,
+    RreqHeader,
+)
+from repro.net.routing_base import RouteEntry, RoutingProtocol, RoutingTable
+from repro.net.static_routing import StaticRouting
+
+__all__ = [
+    "AodvConfig",
+    "AodvRouting",
+    "BROADCAST_ADDR",
+    "BlindFlooding",
+    "BroadcastService",
+    "CounterBasedPolicy",
+    "DsdvConfig",
+    "DsdvRouting",
+    "FixedProbabilityGossip",
+    "HelloHeader",
+    "HelloService",
+    "NeighbourTable",
+    "NodeAddress",
+    "NodeStack",
+    "Packet",
+    "PacketKind",
+    "RebroadcastPolicy",
+    "RerrHeader",
+    "RouteEntry",
+    "RoutingProtocol",
+    "RoutingTable",
+    "RrepHeader",
+    "RreqHeader",
+    "StaticRouting",
+]

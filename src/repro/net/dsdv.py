@@ -1,0 +1,248 @@
+"""DSDV — Destination-Sequenced Distance Vector routing (Perkins & Bhagwat).
+
+The classic *proactive* comparator of the 1990s/2000s MANET literature:
+every node periodically broadcasts its full routing table, entries carry
+destination-issued even sequence numbers, and link breaks advertise an
+odd-sequence infinite metric so stale paths die network-wide.
+
+Simplifications relative to the 1994 paper, each standard in teaching
+implementations and none affecting the comparative shapes measured here:
+
+* no weighted settling time (updates propagate immediately rather than
+  being damped against route flutter);
+* full-table dumps only (no incremental updates);
+* triggered updates are sent on link breaks but not rate-limited.
+
+DSDV exists in this repository as an evaluation baseline: its steady-state
+control overhead is O(nodes²) per period regardless of traffic, the price
+of proactivity that on-demand protocols (AODV/NLR) were designed to avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.net.addressing import BROADCAST_ADDR
+from repro.net.packet import Packet, PacketKind
+from repro.net.routing_base import RoutingProtocol
+from repro.phy.frame import RxInfo
+from repro.sim.process import PeriodicProcess
+
+__all__ = ["DsdvConfig", "DsdvHeader", "DsdvRouting", "INFINITE_METRIC"]
+
+#: Metric advertised for broken routes (RIP-style infinity).
+INFINITE_METRIC = 16
+
+
+@dataclass(slots=True)
+class DsdvHeader:
+    """A full-table DSDV update.
+
+    Attributes
+    ----------
+    entries:
+        List of ``(dst, metric, seqno)`` triples.
+    """
+
+    entries: list[tuple[int, int, int]] = field(default_factory=list)
+
+    BASE_BYTES = 12
+    PER_ENTRY_BYTES = 8
+
+    def size_bytes(self) -> int:
+        """Wire size of this update."""
+        return self.BASE_BYTES + self.PER_ENTRY_BYTES * len(self.entries)
+
+
+@dataclass(slots=True)
+class DsdvConfig:
+    """DSDV parameters."""
+
+    #: Full-table broadcast period (the 1994 paper's periodic update).
+    update_interval_s: float = 5.0
+    #: Entries unheard for this long are purged (≥ 2 periods).
+    route_lifetime_s: float = 15.0
+    #: Trigger an immediate update when a link break is detected.
+    triggered_updates: bool = True
+
+    def __post_init__(self) -> None:
+        if self.update_interval_s <= 0:
+            raise ValueError("update interval must be positive")
+        if self.route_lifetime_s < self.update_interval_s:
+            raise ValueError("route lifetime must cover ≥ 1 update interval")
+
+
+@dataclass(slots=True)
+class _DsdvEntry:
+    dst: int
+    next_hop: int
+    metric: int
+    seqno: int
+    heard_at: float
+
+
+class DsdvRouting(RoutingProtocol):
+    """One node's DSDV instance.
+
+    Parameters
+    ----------
+    config:
+        Protocol parameters.
+    rng:
+        Node-local generator (update jitter).
+    """
+
+    name = "dsdv"
+
+    def __init__(self, config: DsdvConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.config = config
+        self.rng = rng
+        self.seqno = 0  # own destination sequence number (kept even)
+        self._routes: dict[int, _DsdvEntry] = {}
+        self._proc: PeriodicProcess | None = None
+        self.updates_tx = 0
+        self.triggered_tx = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        assert self.sim is not None
+        self._proc = PeriodicProcess(
+            self.sim,
+            self.config.update_interval_s,
+            self._broadcast_update,
+            jitter_fn=lambda: float(
+                self.rng.uniform(0.0, 0.1 * self.config.update_interval_s)
+            ),
+        )
+        # First advertisement almost immediately so tables converge fast.
+        self._proc.start(initial_delay=float(self.rng.uniform(0.01, 0.2)))
+
+    def stop(self) -> None:
+        if self._proc is not None:
+            self._proc.stop()
+            self._proc = None
+
+    # ------------------------------------------------------------------ #
+    # Table access (for tests/metrics)
+    # ------------------------------------------------------------------ #
+    def route_to(self, dst: int) -> _DsdvEntry | None:
+        """Current usable entry for ``dst``, or None."""
+        e = self._routes.get(dst)
+        if e is None or e.metric >= INFINITE_METRIC:
+            return None
+        if e.heard_at + self.config.route_lifetime_s <= self.sim.now:
+            return None
+        return e
+
+    def table_size(self) -> int:
+        """Number of live (finite-metric) entries."""
+        return sum(
+            1 for e in self._routes.values() if e.metric < INFINITE_METRIC
+        )
+
+    # ------------------------------------------------------------------ #
+    # Periodic / triggered updates
+    # ------------------------------------------------------------------ #
+    def _advertised_entries(self) -> list[tuple[int, int, int]]:
+        self.seqno += 2  # destination seqnos stay even while alive
+        entries = [(self.node_id, 0, self.seqno)]
+        horizon = self.sim.now - self.config.route_lifetime_s
+        for e in self._routes.values():
+            if e.heard_at >= horizon or e.metric >= INFINITE_METRIC:
+                entries.append((e.dst, e.metric, e.seqno))
+        return entries
+
+    def _broadcast_update(self) -> None:
+        header = DsdvHeader(entries=self._advertised_entries())
+        packet = Packet(
+            kind=PacketKind.UPDATE,
+            src=self.node_id,
+            dst=BROADCAST_ADDR,
+            ttl=1,
+            header=header,
+            created_at=self.sim.now,
+        )
+        self.updates_tx += 1
+        self.control_tx["hello"] += 1
+        self.stack.send_mac(packet, BROADCAST_ADDR)
+
+    # ------------------------------------------------------------------ #
+    # Packet handling
+    # ------------------------------------------------------------------ #
+    def on_packet(self, packet: Packet, from_node: int, info: RxInfo) -> None:
+        if packet.kind is PacketKind.UPDATE:
+            self._handle_update(packet.header, from_node)
+        elif packet.kind is PacketKind.DATA:
+            self._handle_data(packet)
+
+    def _handle_update(self, header: DsdvHeader, from_node: int) -> None:
+        now = self.sim.now
+        for dst, metric, seqno in header.entries:
+            if dst == self.node_id:
+                continue
+            new_metric = min(metric + 1, INFINITE_METRIC)
+            cur = self._routes.get(dst)
+            accept = (
+                cur is None
+                or seqno > cur.seqno
+                or (seqno == cur.seqno and new_metric < cur.metric)
+            )
+            if accept:
+                self._routes[dst] = _DsdvEntry(
+                    dst=dst,
+                    next_hop=from_node,
+                    metric=new_metric,
+                    seqno=seqno,
+                    heard_at=now,
+                )
+            elif cur is not None and cur.next_hop == from_node:
+                cur.heard_at = now  # existing path re-confirmed
+
+    def _handle_data(self, packet: Packet) -> None:
+        packet.hops += 1
+        if packet.dst == self.node_id:
+            self.local_deliver(packet)
+            return
+        packet.ttl -= 1
+        if packet.ttl <= 0:
+            self.data_dropped_ttl += 1
+            return
+        self.data_forwarded += 1
+        self._forward(packet)
+
+    def send_data(self, packet: Packet) -> None:
+        self.data_originated += 1
+        if packet.dst == self.node_id:
+            self.local_deliver(packet)
+            return
+        self._forward(packet)
+
+    def _forward(self, packet: Packet) -> None:
+        entry = self.route_to(packet.dst)
+        if entry is None:
+            self.data_dropped_no_route += 1
+            return
+        self.stack.send_mac(packet, entry.next_hop)
+
+    # ------------------------------------------------------------------ #
+    # Link failures
+    # ------------------------------------------------------------------ #
+    def on_send_result(self, packet: Packet, dst_mac: int, success: bool) -> None:
+        if success or dst_mac == BROADCAST_ADDR:
+            return
+        broken = False
+        for e in self._routes.values():
+            if e.next_hop == dst_mac and e.metric < INFINITE_METRIC:
+                e.metric = INFINITE_METRIC
+                e.seqno += 1  # odd seqno marks a route died en route
+                broken = True
+        if packet.kind is PacketKind.DATA:
+            self.data_dropped_no_route += 1
+        if broken and self.config.triggered_updates:
+            self.triggered_tx += 1
+            self._broadcast_update()

@@ -1,0 +1,146 @@
+"""Network-wide broadcast dissemination service.
+
+:class:`BroadcastService` is a minimal "routing protocol" that floods
+application broadcast packets under a pluggable
+:class:`~repro.net.gossip.RebroadcastPolicy`.  It exists for the
+broadcast-storm experiments (reconstructed Fig 7): measuring reachability
+versus saved rebroadcasts for blind flooding, gossip, counter-based, and
+the NLR load-adaptive policy on the *same* dissemination machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.addressing import BROADCAST_ADDR
+from repro.net.gossip import (
+    FloodState,
+    PolicyContext,
+    RebroadcastPolicy,
+)
+from repro.net.hello import NeighbourTable
+from repro.net.packet import Packet, PacketKind
+from repro.net.routing_base import RoutingProtocol
+from repro.phy.frame import RxInfo
+
+__all__ = ["BroadcastService"]
+
+
+class BroadcastService(RoutingProtocol):
+    """Flood application broadcasts under a suppression policy.
+
+    Parameters
+    ----------
+    policy:
+        Rebroadcast-suppression strategy.
+    rng:
+        Generator for rebroadcast jitter.
+    jitter_max_s:
+        Uniform jitter before a rebroadcast (de-synchronises neighbours
+        that received the same copy; ns-2 uses 10 ms for RREQs).
+    neighbour_load_provider:
+        Optional ``() -> float`` supplying the cross-layer neighbourhood
+        load for the policy context (NLR policy; defaults to 0).
+    """
+
+    name = "broadcast"
+
+    def __init__(
+        self,
+        policy: RebroadcastPolicy,
+        rng: np.random.Generator,
+        jitter_max_s: float = 0.01,
+        neighbour_load_provider=None,
+    ) -> None:
+        super().__init__()
+        self.policy = policy
+        self.rng = rng
+        self.jitter_max_s = jitter_max_s
+        self.neighbour_load_provider = neighbour_load_provider
+        self.neighbour_table: NeighbourTable | None = None
+        self._floods: dict[tuple[int, int], FloodState] = {}
+        self.rebroadcasts = 0
+        self.suppressed = 0
+        self.received_floods = 0
+
+    def attach(self, stack) -> None:  # type: ignore[override]
+        super().attach(stack)
+        self.neighbour_table = NeighbourTable(stack.sim)
+
+    # ------------------------------------------------------------------ #
+    # Origination
+    # ------------------------------------------------------------------ #
+    def send_data(self, packet: Packet) -> None:
+        if packet.dst != BROADCAST_ADDR:
+            raise ValueError("BroadcastService only carries broadcast packets")
+        self.data_originated += 1
+        key = (packet.src, packet.seq)
+        self._floods[key] = FloodState(rebroadcast_done=True)
+        self.stack.send_mac(packet, BROADCAST_ADDR)
+
+    # ------------------------------------------------------------------ #
+    # Reception
+    # ------------------------------------------------------------------ #
+    def on_packet(self, packet: Packet, from_node: int, info: RxInfo) -> None:
+        if packet.kind is not PacketKind.DATA or packet.dst != BROADCAST_ADDR:
+            return
+        if self.neighbour_table is not None:
+            self.neighbour_table.heard(from_node)
+        key = (packet.src, packet.seq)
+        state = self._floods.get(key)
+        if state is not None:
+            state.duplicates_seen += 1
+            return
+        state = FloodState()
+        self._floods[key] = state
+        self.received_floods += 1
+        self.local_deliver(packet)
+
+        if packet.ttl <= 1:
+            return
+        ctx = self._context(packet, state)
+        decision = self.policy.decide(ctx)
+        if not decision.forward:
+            self.suppressed += 1
+            return
+        delay = decision.assessment_delay_s
+        if delay <= 0.0:
+            delay = float(self.rng.uniform(0.0, self.jitter_max_s))
+        assert self.sim is not None
+        state.pending = self.sim.schedule_in(
+            delay, self._deferred_rebroadcast, packet, key
+        )
+
+    def _deferred_rebroadcast(self, packet: Packet, key: tuple[int, int]) -> None:
+        state = self._floods[key]
+        state.pending = None
+        ctx = self._context(packet, state)
+        if not self.policy.decide_deferred(ctx):
+            self.suppressed += 1
+            return
+        copy = packet.copy_for_forwarding()
+        copy.ttl -= 1
+        copy.hops += 1
+        state.rebroadcast_done = True
+        self.rebroadcasts += 1
+        self.tracer.record(
+            self.sim.now, "net", self.node_id, "rebroadcast",
+            src=packet.src, seq=packet.seq, dup=state.duplicates_seen,
+        )
+        self.stack.send_mac(copy, BROADCAST_ADDR)
+
+    def _context(self, packet: Packet, state: FloodState) -> PolicyContext:
+        load = (
+            self.neighbour_load_provider()
+            if self.neighbour_load_provider is not None
+            else 0.0
+        )
+        return PolicyContext(
+            node_id=self.node_id,
+            hop_count=packet.hops,
+            neighbour_count=(
+                len(self.neighbour_table) if self.neighbour_table is not None else 0
+            ),
+            neighbourhood_load=load,
+            duplicates_seen=state.duplicates_seen,
+        )

@@ -1,0 +1,194 @@
+"""Rebroadcast-suppression policies for flood-style dissemination.
+
+Whether a node that has just received a flooded packet (an RREQ, or an
+application broadcast) should rebroadcast it is a *policy* separable from
+the protocol machinery.  The baselines here are the classic broadcast-storm
+countermeasures the paper's group compares against throughout their work:
+
+* :class:`BlindFlooding` — always rebroadcast (plain AODV).
+* :class:`FixedProbabilityGossip` — rebroadcast with constant probability
+  *p* (Haas et al. gossip routing).
+* :class:`CounterBasedPolicy` — wait a random assessment delay (RAD); if
+  ``counter_threshold`` or more duplicate copies are overheard meanwhile,
+  suppress (Ni et al., and the group's own counter-based scheme papers).
+
+The load-adaptive policy that constitutes part of the paper's contribution
+lives in :mod:`repro.core.forwarding_policy` and implements the same
+interface.
+
+A policy answers :meth:`decide` with a :class:`RebroadcastDecision`:
+``forward`` now/never, plus an optional ``assessment_delay_s`` during which
+duplicate arrivals are counted before a deferred :meth:`decide_deferred`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "RebroadcastDecision",
+    "PolicyContext",
+    "RebroadcastPolicy",
+    "BlindFlooding",
+    "FixedProbabilityGossip",
+    "CounterBasedPolicy",
+    "FloodState",
+]
+
+
+@dataclass(slots=True)
+class FloodState:
+    """Per-flood bookkeeping at one node (shared by every flood consumer).
+
+    Attributes
+    ----------
+    duplicates_seen:
+        Copies of the flood overheard after the first.
+    rebroadcast_done:
+        Whether this node already forwarded the flood.
+    pending:
+        Scheduled deferred-rebroadcast event, if any (opaque handle).
+    """
+
+    duplicates_seen: int = 0
+    rebroadcast_done: bool = False
+    pending: object | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyContext:
+    """Everything a policy may condition on when a flood packet arrives.
+
+    Attributes
+    ----------
+    node_id:
+        The deciding node.
+    hop_count:
+        Hops the packet has travelled (0 at the originator's neighbours).
+    neighbour_count:
+        Deciding node's current one-hop degree.
+    neighbourhood_load:
+        Cross-layer neighbourhood load in [0, 1] (0 for non-NLR schemes).
+    duplicates_seen:
+        Copies of this flood already overheard (counter-based policies).
+    """
+
+    node_id: int
+    hop_count: int
+    neighbour_count: int
+    neighbourhood_load: float
+    duplicates_seen: int
+
+
+@dataclass(frozen=True, slots=True)
+class RebroadcastDecision:
+    """Outcome of a policy consultation.
+
+    ``forward`` applies immediately unless ``assessment_delay_s > 0``, in
+    which case the caller waits, counts duplicates, then consults
+    :meth:`RebroadcastPolicy.decide_deferred`.
+    """
+
+    forward: bool
+    assessment_delay_s: float = 0.0
+
+
+class RebroadcastPolicy(ABC):
+    """Strategy interface for flood-suppression schemes."""
+
+    #: Name used in legends/reports.
+    name: str = "policy"
+
+    @abstractmethod
+    def decide(self, ctx: PolicyContext) -> RebroadcastDecision:
+        """Initial decision when the first copy of a flood arrives."""
+
+    def decide_deferred(self, ctx: PolicyContext) -> bool:
+        """Final decision after an assessment delay (default: keep the
+        initial positive decision)."""
+        return True
+
+
+class BlindFlooding(RebroadcastPolicy):
+    """Always rebroadcast — plain flooding, the AODV default."""
+
+    name = "blind"
+
+    def decide(self, ctx: PolicyContext) -> RebroadcastDecision:
+        return RebroadcastDecision(forward=True)
+
+
+class FixedProbabilityGossip(RebroadcastPolicy):
+    """Bernoulli(p) rebroadcast — gossip routing.
+
+    Parameters
+    ----------
+    p:
+        Forwarding probability in (0, 1].
+    rng:
+        Generator for the coin flips.
+    always_first_hops:
+        Floods younger than this many hops always forward; gossip papers
+        use 1–2 hops to prevent premature die-out near the source.
+    """
+
+    def __init__(
+        self, p: float, rng: np.random.Generator, always_first_hops: int = 1
+    ) -> None:
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"p must be in (0, 1], got {p!r}")
+        if always_first_hops < 0:
+            raise ValueError("always_first_hops must be ≥ 0")
+        self.p = p
+        self.rng = rng
+        self.always_first_hops = always_first_hops
+        self.name = f"gossip(p={p:g})"
+
+    def decide(self, ctx: PolicyContext) -> RebroadcastDecision:
+        if ctx.hop_count < self.always_first_hops:
+            return RebroadcastDecision(forward=True)
+        return RebroadcastDecision(forward=bool(self.rng.random() < self.p))
+
+
+class CounterBasedPolicy(RebroadcastPolicy):
+    """Counter-based suppression with a random assessment delay.
+
+    On first receipt, wait a uniform delay in ``[0, rad_max_s]`` while
+    counting duplicate copies; forward only if fewer than ``threshold``
+    copies were overheard (≥ threshold copies mean the neighbourhood is
+    already covered).
+
+    Parameters
+    ----------
+    threshold:
+        Duplicate count at which rebroadcast is suppressed (Ni et al.
+        recommend 3–4).
+    rad_max_s:
+        Maximum random assessment delay.
+    rng:
+        Generator for the delay draw.
+    """
+
+    def __init__(
+        self, threshold: int, rng: np.random.Generator, rad_max_s: float = 0.01
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be ≥ 1, got {threshold}")
+        if rad_max_s <= 0:
+            raise ValueError(f"rad_max_s must be positive, got {rad_max_s!r}")
+        self.threshold = threshold
+        self.rad_max_s = rad_max_s
+        self.rng = rng
+        self.name = f"counter(c={threshold})"
+
+    def decide(self, ctx: PolicyContext) -> RebroadcastDecision:
+        return RebroadcastDecision(
+            forward=True,
+            assessment_delay_s=float(self.rng.uniform(0.0, self.rad_max_s)),
+        )
+
+    def decide_deferred(self, ctx: PolicyContext) -> bool:
+        return ctx.duplicates_seen < self.threshold

@@ -1,0 +1,182 @@
+"""HELLO beaconing and neighbour tables.
+
+AODV-family protocols learn one-hop connectivity from periodic HELLO
+broadcasts.  The service here additionally exposes the *piggyback hook* NLR
+uses: a provider callable fills each outgoing :class:`HelloHeader` with the
+sender's advertised load, and a listener hook observes every received
+HELLO, which is how the neighbourhood-load table is maintained without any
+extra control traffic — the cross-layer information rides on frames the
+protocol sends anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.net.addressing import BROADCAST_ADDR
+from repro.net.packet import HelloHeader, Packet, PacketKind
+from repro.sim.process import PeriodicProcess
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import NodeStack
+
+__all__ = ["Neighbour", "NeighbourTable", "HelloService"]
+
+
+@dataclass(slots=True)
+class Neighbour:
+    """State kept per one-hop neighbour.
+
+    Attributes
+    ----------
+    node_id:
+        Neighbour address.
+    last_heard:
+        Time of the most recent HELLO (or any packet) from it.
+    load:
+        Most recently advertised load (NLR extension; 0 otherwise).
+    neighbour_count:
+        The neighbour's own advertised degree.
+    """
+
+    node_id: int
+    last_heard: float
+    load: float = 0.0
+    neighbour_count: int = 0
+
+
+class NeighbourTable:
+    """One-hop neighbour set with staleness expiry.
+
+    Parameters
+    ----------
+    sim:
+        Simulator, for timestamps.
+    lifetime_s:
+        A neighbour unheard for this long is dropped (AODV's
+        ``ALLOWED_HELLO_LOSS × HELLO_INTERVAL``, default 2 × 1 s ... the
+        RFC value is 2; we keep 2.5 to tolerate beacon jitter).
+    """
+
+    def __init__(self, sim: Simulator, lifetime_s: float = 2.5) -> None:
+        if lifetime_s <= 0:
+            raise ValueError(f"lifetime must be positive, got {lifetime_s!r}")
+        self.sim = sim
+        self.lifetime_s = lifetime_s
+        self._table: dict[int, Neighbour] = {}
+
+    def heard(
+        self, node_id: int, load: float | None = None, neighbour_count: int | None = None
+    ) -> None:
+        """Record evidence that ``node_id`` is alive (optionally with its
+        advertised load/degree from a HELLO)."""
+        n = self._table.get(node_id)
+        if n is None:
+            n = Neighbour(node_id=node_id, last_heard=self.sim.now)
+            self._table[node_id] = n
+        n.last_heard = self.sim.now
+        if load is not None:
+            n.load = load
+        if neighbour_count is not None:
+            n.neighbour_count = neighbour_count
+
+    def _expire(self) -> None:
+        horizon = self.sim.now - self.lifetime_s
+        stale = [nid for nid, n in self._table.items() if n.last_heard < horizon]
+        for nid in stale:
+            del self._table[nid]
+
+    def neighbours(self) -> list[Neighbour]:
+        """Live neighbour records."""
+        self._expire()
+        return list(self._table.values())
+
+    def ids(self) -> list[int]:
+        """Live neighbour ids."""
+        self._expire()
+        return list(self._table.keys())
+
+    def get(self, node_id: int) -> Neighbour | None:
+        """Record for ``node_id`` if alive."""
+        self._expire()
+        return self._table.get(node_id)
+
+    def __contains__(self, node_id: int) -> bool:
+        self._expire()
+        return node_id in self._table
+
+    def __len__(self) -> int:
+        self._expire()
+        return len(self._table)
+
+    def mean_advertised_load(self) -> float:
+        """Mean of neighbours' advertised loads (0 with no neighbours)."""
+        ns = self.neighbours()
+        if not ns:
+            return 0.0
+        return sum(n.load for n in ns) / len(ns)
+
+
+class HelloService:
+    """Periodic HELLO broadcaster bound to a node stack.
+
+    Parameters
+    ----------
+    stack:
+        The node stack to transmit through.
+    table:
+        Neighbour table updated on receptions.
+    interval_s:
+        Beacon period (AODV HELLO_INTERVAL, 1 s).
+    load_provider:
+        Optional ``() -> float`` giving the load value to advertise (NLR).
+    jitter_fn:
+        Optional ``() -> float`` beacon jitter in [0, interval).
+    """
+
+    def __init__(
+        self,
+        stack: "NodeStack",
+        table: NeighbourTable,
+        interval_s: float = 1.0,
+        load_provider: Callable[[], float] | None = None,
+        jitter_fn: Callable[[], float] | None = None,
+    ) -> None:
+        self.stack = stack
+        self.table = table
+        self.interval_s = interval_s
+        self.load_provider = load_provider
+        self.sent = 0
+        self._proc = PeriodicProcess(
+            stack.sim, interval_s, self._beacon, jitter_fn=jitter_fn
+        )
+
+    def start(self) -> None:
+        """Begin beaconing (first beacon within one jittered interval)."""
+        self._proc.start()
+
+    def stop(self) -> None:
+        """Stop beaconing."""
+        self._proc.stop()
+
+    def _beacon(self) -> None:
+        load = self.load_provider() if self.load_provider is not None else 0.0
+        header = HelloHeader(load=load, neighbour_count=len(self.table))
+        pkt = Packet(
+            kind=PacketKind.HELLO,
+            src=self.stack.node_id,
+            dst=BROADCAST_ADDR,
+            ttl=1,
+            header=header,
+            created_at=self.stack.sim.now,
+        )
+        self.sent += 1
+        self.stack.routing.control_tx["hello"] += 1
+        self.stack.send_mac(pkt, BROADCAST_ADDR)
+
+    def on_hello(self, packet: Packet, from_node: int) -> None:
+        """Process a received HELLO (routing protocols call this)."""
+        h: HelloHeader = packet.header
+        self.table.heard(from_node, load=h.load, neighbour_count=h.neighbour_count)

@@ -1,0 +1,168 @@
+"""Per-node protocol stack composition.
+
+A :class:`NodeStack` glues one MAC instance (real DCF or the perfect test
+MAC — both expose the same interface) to one routing protocol and exposes
+the application-facing API the traffic layer drives.  It also owns the
+plumbing every protocol shares: MAC callback wiring, TTL bookkeeping, and
+control-overhead byte accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.net.addressing import BROADCAST_ADDR
+from repro.net.packet import Packet, PacketKind
+from repro.net.routing_base import RoutingProtocol
+from repro.phy.frame import RxInfo
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+__all__ = ["NodeStack"]
+
+#: Default TTL for originated data (covers any path in the evaluated meshes).
+DEFAULT_TTL = 32
+
+
+class NodeStack:
+    """One node's network stack.
+
+    Parameters
+    ----------
+    sim:
+        Event engine.
+    node_id:
+        Node address.
+    mac:
+        A :class:`~repro.mac.csma.CsmaMac`-compatible MAC (``send``,
+        ``rx_upper_callback``, ``send_done_callback``, plus the two
+        cross-layer signal accessors).
+    routing:
+        The routing protocol instance for this node.
+    tracer:
+        Optional shared tracer.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        mac: Any,
+        routing: RoutingProtocol,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.mac = mac
+        self.routing = routing
+        self.tracer = tracer if tracer is not None else Tracer()
+
+        mac.rx_upper_callback = self._on_mac_rx
+        mac.send_done_callback = self._on_mac_done
+        routing.attach(self)
+
+        #: App-layer receive hook: ``fn(packet)`` for DATA reaching us.
+        self.receive_callback: Callable[[Packet], None] | None = None
+        routing.deliver_callback = self._deliver
+
+        self.packets_sent = 0
+        self.packets_received = 0
+
+    # ------------------------------------------------------------------ #
+    # Application-facing API
+    # ------------------------------------------------------------------ #
+    def send_data(
+        self,
+        dst: int,
+        payload_bytes: int,
+        flow_id: int = -1,
+        seq: int = -1,
+        ttl: int = DEFAULT_TTL,
+    ) -> Packet:
+        """Originate an application DATA packet toward ``dst``."""
+        packet = Packet(
+            kind=PacketKind.DATA,
+            src=self.node_id,
+            dst=dst,
+            ttl=ttl,
+            payload_bytes=payload_bytes,
+            flow_id=flow_id,
+            seq=seq,
+            created_at=self.sim.now,
+        )
+        self.packets_sent += 1
+        self.routing.send_data(packet)
+        return packet
+
+    def start(self) -> None:
+        """Start the routing protocol's timers."""
+        self.routing.start()
+
+    def stop(self) -> None:
+        """Stop the routing protocol's timers."""
+        self.routing.stop()
+
+    # ------------------------------------------------------------------ #
+    # Failure injection
+    # ------------------------------------------------------------------ #
+    def fail(self) -> None:
+        """Simulate a node crash: routing silenced, MAC flushed, radio off.
+
+        Requires a real MAC (``CsmaMac``); the idealised PerfectMac has no
+        radio to fail.
+        """
+        self.routing.stop()
+        self.mac.shutdown()
+
+    def recover(self) -> None:
+        """Bring a failed node back up with empty protocol state timers
+        restarted (routing tables it held before the crash survive, as a
+        rebooted router's in-memory state would not — callers wanting a
+        cold cache should build a fresh stack instead)."""
+        self.mac.restart()
+        self.routing.start()
+
+    # ------------------------------------------------------------------ #
+    # Routing-facing API
+    # ------------------------------------------------------------------ #
+    def send_mac(self, packet: Packet, dst_mac: int) -> bool:
+        """Hand ``packet`` to the MAC addressed to neighbour ``dst_mac``
+        (or ``BROADCAST_ADDR``), charging control overhead accounting."""
+        wire = packet.wire_bytes(
+            with_load_extension=getattr(self.routing, "uses_load_extension", False)
+        )
+        if packet.kind is not PacketKind.DATA:
+            self.routing.control_bytes_tx += wire
+        mac_dst = dst_mac if dst_mac != BROADCAST_ADDR else BROADCAST_ADDR
+        return self.mac.send(packet, mac_dst, wire)
+
+    # ------------------------------------------------------------------ #
+    # MAC callbacks
+    # ------------------------------------------------------------------ #
+    def _on_mac_rx(self, packet: Packet, from_node: int, info: RxInfo) -> None:
+        self.routing.on_packet(packet, from_node, info)
+
+    def _on_mac_done(self, packet: Packet, dst_mac: int, success: bool) -> None:
+        self.routing.on_send_result(packet, dst_mac, success)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.packets_received += 1
+        self.tracer.record(
+            self.sim.now, "app", self.node_id, "deliver",
+            src=packet.src, flow=packet.flow_id, seq=packet.seq,
+        )
+        if self.receive_callback is not None:
+            self.receive_callback(packet)
+
+    # Cross-layer signal passthroughs (consumed by repro.core).
+    @property
+    def queue_occupancy(self) -> float:
+        """MAC interface-queue fill level in [0, 1]."""
+        return self.mac.queue_occupancy
+
+    def channel_busy_ratio(self) -> float:
+        """MAC trailing-window channel busy ratio in [0, 1]."""
+        return self.mac.channel_busy_ratio()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"NodeStack(node={self.node_id}, routing={self.routing.name})"

@@ -1,0 +1,54 @@
+"""Radio/PHY substrate: propagation, reception, errors, shared channel.
+
+Layout mirrors ns-2's PHY split:
+
+* :mod:`~repro.phy.propagation` — deterministic path-loss models (free
+  space, two-ray ground, log-distance) plus log-normal shadowing, all with
+  vectorised many-receiver evaluation (the hot path).
+* :mod:`~repro.phy.error_models` — SINR → BER/FER for DSSS (802.11b) and
+  generic PSK/QAM modulations, plus a simple SINR-threshold model.
+* :mod:`~repro.phy.frame` — physical-layer frame wrapper and airtime math.
+* :mod:`~repro.phy.radio` — per-node radio state machine with
+  SINR-segmented reception and capture.
+* :mod:`~repro.phy.channel` — the shared broadcast medium dispatching
+  transmissions to all radios in range.
+"""
+
+from repro.phy.channel import Channel
+from repro.phy.energy import EnergyConfig, EnergyMeter, attach_energy_meters
+from repro.phy.error_models import (
+    Dsss11ErrorModel,
+    ErrorModel,
+    PskErrorModel,
+    SinrThresholdErrorModel,
+)
+from repro.phy.frame import PhyFrame, RxInfo
+from repro.phy.propagation import (
+    FreeSpace,
+    LogDistance,
+    LogNormalShadowing,
+    PropagationModel,
+    TwoRayGround,
+)
+from repro.phy.radio import PhyConfig, Radio, RadioState
+
+__all__ = [
+    "Channel",
+    "EnergyConfig",
+    "EnergyMeter",
+    "attach_energy_meters",
+    "Dsss11ErrorModel",
+    "ErrorModel",
+    "FreeSpace",
+    "LogDistance",
+    "LogNormalShadowing",
+    "PhyConfig",
+    "PhyFrame",
+    "PropagationModel",
+    "PskErrorModel",
+    "Radio",
+    "RadioState",
+    "RxInfo",
+    "SinrThresholdErrorModel",
+    "TwoRayGround",
+]

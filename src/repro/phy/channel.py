@@ -1,0 +1,170 @@
+"""The shared wireless medium.
+
+One :class:`Channel` instance connects every radio in the network.  A
+transmission is dispatched by evaluating the propagation model once, for
+*all* registered receivers, in a single vectorised numpy expression over the
+``(n, 2)`` position table (the hpc-parallel hot-path rule), then scheduling
+``rx_start``/``rx_end`` events only at receivers whose power clears a
+tracking cull threshold — signals far too weak to affect carrier sense or
+SINR are never materialised as events.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.frame import PhyFrame
+from repro.phy.propagation import LogNormalShadowing, PropagationModel
+from repro.phy.radio import Radio
+from repro.sim.engine import Simulator
+from repro.sim.errors import SimulationError
+from repro.sim.units import SPEED_OF_LIGHT
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """Shared broadcast medium.
+
+    Parameters
+    ----------
+    sim:
+        Event engine.
+    propagation:
+        Path-loss model used for every link.
+    track_threshold_w:
+        Received-power cull: signals below this level at a receiver are not
+        delivered at all.  Defaults to one tenth of the weakest registered
+        radio's carrier-sense threshold (set lazily on first transmit).
+    propagation_delay:
+        When True (default) receptions start after distance/c; disabling it
+        makes unit tests easier to reason about.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        propagation: PropagationModel,
+        track_threshold_w: float | None = None,
+        propagation_delay: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.propagation = propagation
+        self._track_threshold_w = track_threshold_w
+        self.propagation_delay = propagation_delay
+        self._radios: dict[int, Radio] = {}
+        self._ids: np.ndarray = np.empty(0, dtype=int)
+        self._positions: np.ndarray = np.empty((0, 2), dtype=float)
+        self.transmissions = 0
+        # Static-topology dispatch cache: tx node id → (receiver radios,
+        # powers, delays).  Mesh routers rarely move, so the propagation
+        # evaluation is paid once per transmitter; any position change
+        # clears the cache (mobility runs simply forgo the speedup).
+        self._dispatch_cache: dict[int, tuple[list[Radio], list[float], list[float]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration / positions
+    # ------------------------------------------------------------------ #
+    def register(self, radio: Radio, position: tuple[float, float]) -> None:
+        """Attach ``radio`` to the medium at ``position`` (metres)."""
+        if radio.node_id in self._radios:
+            raise SimulationError(f"node {radio.node_id} already registered")
+        self._radios[radio.node_id] = radio
+        radio.channel = self
+        self._positions = np.vstack(
+            [self._positions, np.asarray(position, dtype=float)]
+        )
+        self._ids = np.append(self._ids, radio.node_id)
+        self._dispatch_cache.clear()
+
+    def position_of(self, node_id: int) -> np.ndarray:
+        """Current position of ``node_id`` (copy)."""
+        idx = self._index_of(node_id)
+        return self._positions[idx].copy()
+
+    def set_position(self, node_id: int, position: tuple[float, float]) -> None:
+        """Move a node (mobility models call this)."""
+        idx = self._index_of(node_id)
+        self._positions[idx] = position
+        self._dispatch_cache.clear()
+
+    def _index_of(self, node_id: int) -> int:
+        hits = np.nonzero(self._ids == node_id)[0]
+        if len(hits) == 0:
+            raise SimulationError(f"node {node_id} not registered on channel")
+        return int(hits[0])
+
+    @property
+    def node_count(self) -> int:
+        """Number of registered radios."""
+        return len(self._radios)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def _cull_threshold(self) -> float:
+        if self._track_threshold_w is None:
+            cs = min(r.config.cs_threshold_w for r in self._radios.values())
+            self._track_threshold_w = cs / 10.0
+        return self._track_threshold_w
+
+    def _dispatch_plan(
+        self, tx_node: int, tx_power_w: float
+    ) -> tuple[list[Radio], list[float], list[float]]:
+        """(receivers, rx powers, propagation delays) for ``tx_node``.
+
+        Valid while no node moves and tx power is per-config constant (the
+        cache is keyed by transmitter only; heterogeneous powers would need
+        a (node, power) key — all evaluated scenarios use one power).
+        """
+        plan = self._dispatch_cache.get(tx_node)
+        if plan is not None:
+            return plan
+        tx_idx = self._index_of(tx_node)
+        tx_pos = self._positions[tx_idx]
+        if isinstance(self.propagation, LogNormalShadowing):
+            self.propagation.set_transmitter(tx_node)
+        powers = np.asarray(
+            self.propagation.rx_power_many(
+                tx_power_w, tx_pos, self._positions, rx_ids=self._ids
+            ),
+            dtype=float,
+        )
+        mask = powers >= self._cull_threshold()
+        mask[tx_idx] = False
+        rx_indices = np.nonzero(mask)[0]
+        if self.propagation_delay:
+            d = np.hypot(
+                self._positions[rx_indices, 0] - tx_pos[0],
+                self._positions[rx_indices, 1] - tx_pos[1],
+            )
+            delays = d / SPEED_OF_LIGHT
+        else:
+            delays = np.zeros(len(rx_indices))
+        receivers = [self._radios[int(self._ids[i])] for i in rx_indices]
+        # Plain Python floats: avoids numpy scalar types leaking into the
+        # radio hot path (and list indexing is faster there anyway).
+        plan = (receivers, powers[rx_indices].tolist(), delays.tolist())
+        self._dispatch_cache[tx_node] = plan
+        return plan
+
+    def transmit(self, tx_node: int, frame: PhyFrame) -> None:
+        """Deliver ``frame`` from ``tx_node`` to every radio in range."""
+        self.transmissions += 1
+        receivers, powers, delays = self._dispatch_plan(tx_node, frame.tx_power_w)
+        now = self.sim.now
+        dur = frame.duration_s
+        schedule = self.sim.schedule
+        for k, radio in enumerate(receivers):
+            t0 = now + delays[k]
+            schedule(t0, radio.on_rx_start, frame, powers[k])
+            schedule(t0 + dur, radio.on_rx_end, frame)
+
+    def neighbors_within(self, node_id: int, radius_m: float) -> list[int]:
+        """Node ids within ``radius_m`` of ``node_id`` (excluding itself)."""
+        idx = self._index_of(node_id)
+        p = self._positions[idx]
+        d = np.hypot(self._positions[:, 0] - p[0], self._positions[:, 1] - p[1])
+        mask = d <= radius_m
+        mask[idx] = False
+        return [int(i) for i in self._ids[mask]]

@@ -1,0 +1,83 @@
+"""Physical-layer frame wrapper and reception metadata."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["PhyFrame", "RxInfo"]
+
+_frame_uid = itertools.count()
+
+
+@dataclass(slots=True)
+class PhyFrame:
+    """A frame on the air.
+
+    Attributes
+    ----------
+    payload:
+        The MAC frame object carried (opaque to the PHY).
+    bits:
+        Total payload bits excluding the PLCP preamble/header (which are
+        accounted for in time via ``preamble_s``, not bits).
+    rate_bps:
+        Payload data rate.
+    preamble_s:
+        PLCP preamble + header duration (transmitted at the base rate;
+        192 µs for 802.11b long preamble).
+    tx_power_w:
+        Transmit power.
+    tx_node:
+        Transmitting node id.
+    uid:
+        Unique frame identifier (monotone per-process counter).
+    """
+
+    payload: Any
+    bits: int
+    rate_bps: float
+    preamble_s: float
+    tx_power_w: float
+    tx_node: int
+    uid: int = field(default_factory=lambda: next(_frame_uid))
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError(f"frame must carry at least one bit, got {self.bits}")
+        if self.rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate_bps!r}")
+        if self.preamble_s < 0:
+            raise ValueError(f"preamble must be non-negative, got {self.preamble_s!r}")
+        if self.tx_power_w <= 0:
+            raise ValueError(f"tx power must be positive, got {self.tx_power_w!r}")
+
+    @property
+    def duration_s(self) -> float:
+        """Total airtime: preamble plus payload at the data rate."""
+        return self.preamble_s + self.bits / self.rate_bps
+
+
+@dataclass(frozen=True, slots=True)
+class RxInfo:
+    """Metadata handed to the MAC with a successfully received frame.
+
+    Attributes
+    ----------
+    rx_power_w:
+        Received signal power of the decoded frame.
+    min_sinr:
+        Worst per-segment SINR experienced during the reception (linear).
+    start_time, end_time:
+        Reception interval bounds (seconds).
+    tx_node:
+        Transmitter node id (PHY-level ground truth, used by traces/tests;
+        protocol logic reads addresses from the MAC header instead).
+    """
+
+    rx_power_w: float
+    min_sinr: float
+    start_time: float
+    end_time: float
+    tx_node: int

@@ -1,0 +1,277 @@
+"""Radio propagation (path-loss) models.
+
+Each model maps ``(tx_power_w, tx_position, rx_positions)`` to received
+power in watts.  The many-receiver form is the hot path — one call per
+transmission — so it is fully vectorised over a ``(n, 2)`` position array,
+per the hpc-parallel guide (vectorise the inner loop, no per-node Python).
+
+Models follow their ns-2 namesakes:
+
+* :class:`FreeSpace` — Friis equation, exponent 2 everywhere.
+* :class:`TwoRayGround` — Friis below the crossover distance, fourth-power
+  ground-reflection beyond it (the ns-2 WMN default).
+* :class:`LogDistance` — reference loss at ``d0`` plus ``10·n·log10(d/d0)``.
+* :class:`LogNormalShadowing` — wraps any model, adding a per-link *static*
+  shadowing term (dB, zero-mean Gaussian) that is deterministic per link so
+  a link's quality does not fluctuate packet-to-packet.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.sim.rng import RandomStreams
+from repro.sim.units import SPEED_OF_LIGHT
+
+__all__ = [
+    "PropagationModel",
+    "FreeSpace",
+    "TwoRayGround",
+    "LogDistance",
+    "LogNormalShadowing",
+]
+
+#: Distances are clamped to this minimum before path-loss evaluation to
+#: avoid singularities when two nodes share a position.
+MIN_DISTANCE_M = 0.1
+
+
+def _distances(tx_pos: np.ndarray, rx_pos: np.ndarray) -> np.ndarray:
+    """Euclidean distances from one point to an ``(n, 2)`` array, clamped."""
+    d = np.hypot(rx_pos[:, 0] - tx_pos[0], rx_pos[:, 1] - tx_pos[1])
+    return np.maximum(d, MIN_DISTANCE_M)
+
+
+class PropagationModel(ABC):
+    """Deterministic path-loss model interface."""
+
+    @abstractmethod
+    def rx_power_many(
+        self, tx_power_w: float, tx_pos: np.ndarray, rx_pos: np.ndarray,
+        rx_ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Received power (W) at each row of ``rx_pos`` for a transmitter at
+        ``tx_pos`` emitting ``tx_power_w``.
+
+        ``rx_ids`` carries the receiver node ids aligned with ``rx_pos``;
+        only shadowing models need it (to key the per-link offset).
+        """
+
+    def rx_power(
+        self, tx_power_w: float, tx_pos: np.ndarray, rx_pos: np.ndarray,
+        tx_id: int = -1, rx_id: int = -1,
+    ) -> float:
+        """Scalar convenience wrapper around :meth:`rx_power_many`."""
+        out = self.rx_power_many(
+            tx_power_w,
+            np.asarray(tx_pos, dtype=float),
+            np.asarray(rx_pos, dtype=float).reshape(1, 2),
+            rx_ids=np.array([rx_id]),
+        )
+        return float(out[0])
+
+    def range_for(
+        self, tx_power_w: float, threshold_w: float, hi: float = 1e5
+    ) -> float:
+        """Distance at which received power falls to ``threshold_w``.
+
+        Solved by bisection so it works for any monotone model; used to size
+        carrier-sense neighbourhoods and validate topologies.
+        """
+        if threshold_w <= 0:
+            raise ValueError("threshold must be positive")
+        origin = np.zeros(2)
+
+        def p(d: float) -> float:
+            return self.rx_power(tx_power_w, origin, np.array([d, 0.0]))
+
+        lo = MIN_DISTANCE_M
+        if p(hi) > threshold_w:
+            return hi
+        if p(lo) < threshold_w:
+            return 0.0
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if p(mid) >= threshold_w:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+
+class FreeSpace(PropagationModel):
+    """Friis free-space model: ``Pr = Pt·Gt·Gr·λ² / ((4πd)²·L)``.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Carrier frequency (default 2.4 GHz ISM).
+    tx_gain, rx_gain, system_loss:
+        Linear antenna gains and system loss (all default 1.0, as ns-2).
+    """
+
+    def __init__(
+        self,
+        frequency_hz: float = 2.4e9,
+        tx_gain: float = 1.0,
+        rx_gain: float = 1.0,
+        system_loss: float = 1.0,
+    ) -> None:
+        if frequency_hz <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+        if min(tx_gain, rx_gain, system_loss) <= 0:
+            raise ValueError("gains and system loss must be positive")
+        self.frequency_hz = frequency_hz
+        self.wavelength_m = SPEED_OF_LIGHT / frequency_hz
+        self.tx_gain = tx_gain
+        self.rx_gain = rx_gain
+        self.system_loss = system_loss
+        self._k = (
+            tx_gain * rx_gain * self.wavelength_m**2 / ((4.0 * math.pi) ** 2 * system_loss)
+        )
+
+    def rx_power_many(
+        self, tx_power_w: float, tx_pos: np.ndarray, rx_pos: np.ndarray,
+        rx_ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        d = _distances(tx_pos, rx_pos)
+        return tx_power_w * self._k / (d * d)
+
+
+class TwoRayGround(PropagationModel):
+    """Two-ray ground reflection model (ns-2's WMN default).
+
+    Friis up to the crossover distance ``dc = 4π·ht·hr/λ``, then
+    ``Pr = Pt·Gt·Gr·ht²·hr² / (d⁴·L)``.
+
+    Parameters
+    ----------
+    antenna_height_m:
+        Height of both antennas (ns-2 default 1.5 m).
+    """
+
+    def __init__(
+        self,
+        frequency_hz: float = 2.4e9,
+        antenna_height_m: float = 1.5,
+        tx_gain: float = 1.0,
+        rx_gain: float = 1.0,
+        system_loss: float = 1.0,
+    ) -> None:
+        if antenna_height_m <= 0:
+            raise ValueError(f"antenna height must be positive, got {antenna_height_m!r}")
+        self._friis = FreeSpace(frequency_hz, tx_gain, rx_gain, system_loss)
+        self.antenna_height_m = antenna_height_m
+        self.crossover_m = (
+            4.0 * math.pi * antenna_height_m * antenna_height_m
+        ) / self._friis.wavelength_m
+        self._k4 = (
+            tx_gain * rx_gain * antenna_height_m**4 / system_loss
+        )
+
+    def rx_power_many(
+        self, tx_power_w: float, tx_pos: np.ndarray, rx_pos: np.ndarray,
+        rx_ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        d = _distances(tx_pos, rx_pos)
+        near = tx_power_w * self._friis._k / (d * d)
+        far = tx_power_w * self._k4 / (d**4)
+        return np.where(d < self.crossover_m, near, far)
+
+
+class LogDistance(PropagationModel):
+    """Log-distance path loss: ``PL(d) = PL(d0) + 10·n·log10(d/d0)`` dB.
+
+    Parameters
+    ----------
+    exponent:
+        Path-loss exponent ``n`` (2 free space, 2.7–4 urban mesh).
+    reference_distance_m:
+        Reference distance ``d0``; loss there is computed with Friis.
+    """
+
+    def __init__(
+        self,
+        exponent: float = 3.0,
+        reference_distance_m: float = 1.0,
+        frequency_hz: float = 2.4e9,
+    ) -> None:
+        if exponent <= 0:
+            raise ValueError(f"exponent must be positive, got {exponent!r}")
+        if reference_distance_m <= 0:
+            raise ValueError("reference distance must be positive")
+        self.exponent = exponent
+        self.d0 = reference_distance_m
+        friis = FreeSpace(frequency_hz)
+        # Linear gain at the reference distance (power ratio Pr/Pt at d0).
+        self._g0 = friis._k / (self.d0 * self.d0)
+
+    def rx_power_many(
+        self, tx_power_w: float, tx_pos: np.ndarray, rx_pos: np.ndarray,
+        rx_ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        d = np.maximum(_distances(tx_pos, rx_pos), self.d0)
+        return tx_power_w * self._g0 * (self.d0 / d) ** self.exponent
+
+
+class LogNormalShadowing(PropagationModel):
+    """Static per-link log-normal shadowing over any base model.
+
+    Each *unordered* node pair gets one zero-mean Gaussian offset (dB),
+    drawn deterministically from the run's seed: link quality is stable over
+    a run and symmetric, but varies across links — the standard static
+    shadowing abstraction for mesh (fixed-node) evaluations.
+
+    Parameters
+    ----------
+    base:
+        Underlying deterministic model.
+    sigma_db:
+        Standard deviation of the shadowing term in dB.
+    streams:
+        Run RNG registry (offsets keyed under ``"phy.shadowing"``).
+    """
+
+    def __init__(
+        self, base: PropagationModel, sigma_db: float, streams: RandomStreams
+    ) -> None:
+        if sigma_db < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma_db!r}")
+        self.base = base
+        self.sigma_db = sigma_db
+        self._streams = streams
+        self._offsets_db: dict[tuple[int, int], float] = {}
+        self._tx_id = -1  # set by channel before dispatch
+
+    def set_transmitter(self, tx_id: int) -> None:
+        """Record the transmitting node id for the next dispatch."""
+        self._tx_id = tx_id
+
+    def _offset_db(self, a: int, b: int) -> float:
+        key = (a, b) if a <= b else (b, a)
+        off = self._offsets_db.get(key)
+        if off is None:
+            gen = self._streams.stream(f"phy.shadowing.{key[0]}.{key[1]}")
+            off = float(gen.normal(0.0, self.sigma_db))
+            self._offsets_db[key] = off
+        return off
+
+    def rx_power_many(
+        self, tx_power_w: float, tx_pos: np.ndarray, rx_pos: np.ndarray,
+        rx_ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        p = np.asarray(
+            self.base.rx_power_many(tx_power_w, tx_pos, rx_pos), dtype=float
+        ).copy()
+        if self.sigma_db == 0.0 or rx_ids is None:
+            return p
+        offs = np.fromiter(
+            (self._offset_db(self._tx_id, int(r)) for r in rx_ids),
+            dtype=float,
+            count=len(rx_ids),
+        )
+        p *= 10.0 ** (offs / 10.0)
+        return p

@@ -1,0 +1,398 @@
+"""Per-node radio state machine with SINR-segmented reception.
+
+The radio is half-duplex with three states (IDLE/RX/TX).  Reception follows
+the ns-2/ns-3 "lock + interference accumulation" abstraction:
+
+* An arriving signal whose power clears ``rx_threshold_w`` while the radio
+  is IDLE *locks* the radio onto it; every other impinging signal only adds
+  interference power.
+* Whenever the interference level changes during a locked reception, the
+  current SINR *segment* is closed and a new one opened; at the end of the
+  frame the error model converts the segment list into a success
+  probability, which is Bernoulli-sampled with the node's own RNG stream.
+* An optional *capture* rule lets a sufficiently stronger late arrival
+  steal the lock (the old frame is marked corrupted), modelling preamble
+  capture — without it, the classic 802.11 hidden-terminal collision
+  destroys both frames.
+
+Carrier sense (CCA) is energy-based: the medium is busy whenever the radio
+is transmitting, receiving, or the total impinging power clears
+``cs_threshold_w``.  State transitions are pushed to the MAC through the
+``cca_callback`` so the MAC never polls.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.phy.error_models import ErrorModel, SinrThresholdErrorModel
+from repro.phy.frame import PhyFrame, RxInfo
+from repro.sim.engine import Simulator
+from repro.sim.errors import SimulationError
+from repro.sim.trace import Tracer
+
+__all__ = ["PhyConfig", "Radio", "RadioState"]
+
+
+class RadioState(enum.Enum):
+    """Half-duplex radio states."""
+
+    IDLE = "idle"
+    RX = "rx"
+    TX = "tx"
+
+
+@dataclass(slots=True)
+class PhyConfig:
+    """PHY parameters (ns-2 802.11b two-ray defaults).
+
+    The threshold trio reproduces ns-2's canonical 250 m transmission /
+    550 m carrier-sense ranges under :class:`~repro.phy.propagation.TwoRayGround`
+    with 1.5 m antennas.
+    """
+
+    #: Transmit power in watts (ns-2 default 0.28183815 W ≈ 24.5 dBm).
+    tx_power_w: float = 0.28183815
+    #: Minimum power to lock onto a frame (ns-2 RXThresh, ≈250 m).
+    rx_threshold_w: float = 3.652e-10
+    #: Energy-detection carrier-sense threshold (ns-2 CSThresh, ≈550 m).
+    cs_threshold_w: float = 1.559e-11
+    #: Receiver noise floor in watts (thermal + noise figure).
+    noise_floor_w: float = 8.8e-13
+    #: Payload data rate for unicast data frames.
+    data_rate_bps: float = 11e6
+    #: Base rate for broadcast/control frames and PLCP.
+    basic_rate_bps: float = 2e6
+    #: PLCP preamble + header airtime (802.11b long preamble).
+    preamble_s: float = 192e-6
+    #: Linear power ratio a late frame needs over the locked frame to
+    #: capture the receiver (10 dB, ns-2 convention).
+    capture_ratio: float = 10.0
+    #: Enable the capture rule at all.
+    capture_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.tx_power_w <= 0:
+            raise ValueError("tx power must be positive")
+        if not (self.noise_floor_w > 0):
+            raise ValueError("noise floor must be positive")
+        if self.cs_threshold_w > self.rx_threshold_w:
+            raise ValueError(
+                "carrier-sense threshold must not exceed the rx threshold "
+                f"(cs={self.cs_threshold_w!r} > rx={self.rx_threshold_w!r})"
+            )
+        if self.capture_ratio < 1.0:
+            raise ValueError("capture ratio must be ≥ 1 (linear)")
+
+
+@dataclass(slots=True)
+class _Reception:
+    """Book-keeping for the frame currently locked onto."""
+
+    frame: PhyFrame
+    rx_power_w: float
+    start: float
+    segments: list[tuple[float, int]] = field(default_factory=list)
+    segment_start: float = 0.0
+    interference_w: float = 0.0
+    corrupted: bool = False
+    min_sinr: float = float("inf")
+
+
+class Radio:
+    """One node's PHY.
+
+    Parameters
+    ----------
+    sim:
+        Event engine.
+    node_id:
+        Owning node id (also the index into the channel position table).
+    config:
+        PHY parameters.
+    rng:
+        Node-local generator for reception Bernoulli draws.
+    error_model:
+        SINR → success model (default: 10 dB threshold).
+    tracer:
+        Optional tracer (category ``"phy"``).
+
+    Upward interface (set by the MAC):
+
+    * ``rx_callback(payload, rx_info)`` — successfully decoded frame.
+    * ``cca_callback(busy)`` — medium busy/idle transitions.
+    * ``tx_done_callback()`` — own transmission completed.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        config: PhyConfig,
+        rng: np.random.Generator,
+        error_model: ErrorModel | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.config = config
+        self.rng = rng
+        self.error_model = error_model or SinrThresholdErrorModel()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.channel: Any = None  # set by Channel.register
+
+        self.state = RadioState.IDLE
+        self.powered = True
+        self._arriving: dict[int, tuple[PhyFrame, float]] = {}
+        # Frames whose rx_end must be ignored because the radio was off at
+        # (or went off after) their rx_start.
+        self._ignore_rx_end: set[int] = set()
+        self._impinging_w = 0.0
+        self._current: _Reception | None = None
+        self._tx_frame: PhyFrame | None = None
+        self._cca_busy = False
+
+        self.rx_callback: Callable[[Any, RxInfo], None] | None = None
+        self.cca_callback: Callable[[bool], None] | None = None
+        self.tx_done_callback: Callable[[], None] | None = None
+        #: Observer of radio state transitions (energy metering); called
+        #: with the new state after each change.
+        self.state_listener: Callable[[RadioState], None] | None = None
+
+        # Statistics.
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.frames_corrupted = 0
+        self.frames_captured = 0
+
+    def _set_state(self, new_state: RadioState) -> None:
+        if new_state is self.state:
+            return
+        self.state = new_state
+        if self.state_listener is not None:
+            self.state_listener(new_state)
+
+    # ------------------------------------------------------------------ #
+    # Carrier sense
+    # ------------------------------------------------------------------ #
+    @property
+    def cca_busy(self) -> bool:
+        """True when the medium is busy from this radio's viewpoint."""
+        return (
+            self.state is not RadioState.IDLE
+            or self._impinging_w >= self.config.cs_threshold_w
+        )
+
+    def _update_cca(self) -> None:
+        busy = self.cca_busy
+        if busy != self._cca_busy:
+            self._cca_busy = busy
+            if self.cca_callback is not None:
+                self.cca_callback(busy)
+
+    # ------------------------------------------------------------------ #
+    # Transmit path
+    # ------------------------------------------------------------------ #
+    def set_power_state(self, on: bool) -> None:
+        """Power the radio on/off (failure injection).
+
+        Powering off aborts any in-progress reception, clears impinging
+        signal tracking, and makes the radio deaf and mute: arriving
+        signals are ignored and :meth:`transmit` raises.  Powering back on
+        restores a clean IDLE radio (frames already in flight toward it
+        were lost — their ``rx_end`` events are ignored as unknown).
+        """
+        if on == self.powered:
+            return
+        self.powered = on
+        if not on:
+            if self._current is not None:
+                self._abort_current("powered_off")
+            self._set_state(RadioState.IDLE)
+            self._tx_frame = None
+            self._ignore_rx_end.update(self._arriving)
+            self._arriving.clear()
+            self._impinging_w = 0.0
+            self._update_cca()
+        self.tracer.record(
+            self.sim.now, "phy", self.node_id,
+            "power_on" if on else "power_off",
+        )
+
+    def transmit(self, frame: PhyFrame) -> None:
+        """Put ``frame`` on the air.  Aborts any in-progress reception
+        (half-duplex: transmitting deafens the receiver)."""
+        if not self.powered:
+            raise SimulationError(f"radio {self.node_id} is powered off")
+        if self.channel is None:
+            raise SimulationError(f"radio {self.node_id} not attached to a channel")
+        if self.state is RadioState.TX:
+            raise SimulationError(
+                f"radio {self.node_id} asked to transmit while already transmitting"
+            )
+        if self._current is not None:
+            self._abort_current("tx_preempt")
+        self._set_state(RadioState.TX)
+        self._tx_frame = frame
+        self.frames_sent += 1
+        self.tracer.record(
+            self.sim.now, "phy", self.node_id, "tx_start",
+            uid=frame.uid, bits=frame.bits, dur=frame.duration_s,
+        )
+        self.channel.transmit(self.node_id, frame)
+        self.sim.schedule_in(frame.duration_s, self._tx_end)
+        self._update_cca()
+
+    def _tx_end(self) -> None:
+        if self._tx_frame is None:
+            return  # transmission was torn down (power-off) mid-air
+        self.tracer.record(
+            self.sim.now, "phy", self.node_id, "tx_end",
+            uid=self._tx_frame.uid if self._tx_frame else -1,
+        )
+        self._tx_frame = None
+        self._set_state(RadioState.IDLE)
+        self._update_cca()
+        if self.tx_done_callback is not None:
+            self.tx_done_callback()
+
+    # ------------------------------------------------------------------ #
+    # Receive path (called by the channel)
+    # ------------------------------------------------------------------ #
+    def on_rx_start(self, frame: PhyFrame, rx_power_w: float) -> None:
+        """A signal begins impinging on the antenna."""
+        if not self.powered:
+            self._ignore_rx_end.add(frame.uid)
+            return
+        self._arriving[frame.uid] = (frame, rx_power_w)
+        self._impinging_w += rx_power_w
+
+        if self.state is RadioState.IDLE:
+            if rx_power_w >= self.config.rx_threshold_w:
+                self._lock(frame, rx_power_w)
+        elif self.state is RadioState.RX:
+            cur = self._current
+            assert cur is not None
+            if (
+                self.config.capture_enabled
+                and rx_power_w >= self.config.rx_threshold_w
+                and rx_power_w >= cur.rx_power_w * self.config.capture_ratio
+            ):
+                self.frames_captured += 1
+                self._abort_current("captured")
+                self._lock(frame, rx_power_w)
+            else:
+                self._reseed_segment()
+        # TX state: pure interference; power already accumulated.
+        self._update_cca()
+
+    def on_rx_end(self, frame: PhyFrame) -> None:
+        """A signal stops impinging on the antenna."""
+        if frame.uid in self._ignore_rx_end:
+            self._ignore_rx_end.discard(frame.uid)
+            return
+        entry = self._arriving.pop(frame.uid, None)
+        if entry is None:  # pragma: no cover - channel/radio invariant
+            raise SimulationError(
+                f"radio {self.node_id}: rx_end for unknown frame {frame.uid}"
+            )
+        _, rx_power_w = entry
+        self._impinging_w = max(0.0, self._impinging_w - rx_power_w)
+
+        cur = self._current
+        if cur is not None and cur.frame.uid == frame.uid:
+            self._finish_current(rx_power_w)
+        elif cur is not None:
+            self._reseed_segment()
+        self._update_cca()
+
+    # ------------------------------------------------------------------ #
+    # Reception internals
+    # ------------------------------------------------------------------ #
+    def _lock(self, frame: PhyFrame, rx_power_w: float) -> None:
+        self._set_state(RadioState.RX)
+        self._current = _Reception(
+            frame=frame,
+            rx_power_w=rx_power_w,
+            start=self.sim.now,
+            segment_start=self.sim.now,
+            interference_w=self._impinging_w - rx_power_w,
+        )
+        self.tracer.record(
+            self.sim.now, "phy", self.node_id, "rx_lock",
+            uid=frame.uid, power=rx_power_w,
+        )
+
+    def _effective_bitrate(self, frame: PhyFrame) -> float:
+        # The preamble has no payload bits; spreading the payload bits over
+        # the whole airtime yields the per-segment bit counts used by the
+        # error model (documented approximation, see module docstring).
+        return frame.bits / frame.duration_s
+
+    def _close_segment(self, cur: _Reception) -> None:
+        dt = self.sim.now - cur.segment_start
+        if dt > 0:
+            sinr = cur.rx_power_w / (cur.interference_w + self.config.noise_floor_w)
+            bits = max(1, int(round(dt * self._effective_bitrate(cur.frame))))
+            cur.segments.append((sinr, bits))
+            cur.min_sinr = min(cur.min_sinr, sinr)
+        cur.segment_start = self.sim.now
+
+    def _reseed_segment(self) -> None:
+        cur = self._current
+        assert cur is not None
+        self._close_segment(cur)
+        cur.interference_w = self._impinging_w - cur.rx_power_w
+
+    def _abort_current(self, reason: str) -> None:
+        cur = self._current
+        assert cur is not None
+        self.frames_corrupted += 1
+        self.tracer.record(
+            self.sim.now, "phy", self.node_id, "rx_abort",
+            uid=cur.frame.uid, reason=reason,
+        )
+        self._current = None
+        if self.state is RadioState.RX:
+            self._set_state(RadioState.IDLE)
+
+    def _finish_current(self, rx_power_w: float) -> None:
+        cur = self._current
+        assert cur is not None
+        self._close_segment(cur)
+        self._current = None
+        self._set_state(RadioState.IDLE)
+
+        p_ok = self.error_model.frame_success_probability(cur.segments)
+        ok = p_ok >= 1.0 or (p_ok > 0.0 and self.rng.random() < p_ok)
+        if ok:
+            self.frames_received += 1
+            info = RxInfo(
+                rx_power_w=rx_power_w,
+                min_sinr=cur.min_sinr,
+                start_time=cur.start,
+                end_time=self.sim.now,
+                tx_node=cur.frame.tx_node,
+            )
+            self.tracer.record(
+                self.sim.now, "phy", self.node_id, "rx_ok",
+                uid=cur.frame.uid, sinr=cur.min_sinr,
+            )
+            if self.rx_callback is not None:
+                self.rx_callback(cur.frame.payload, info)
+        else:
+            self.frames_corrupted += 1
+            self.tracer.record(
+                self.sim.now, "phy", self.node_id, "rx_error",
+                uid=cur.frame.uid, p_ok=p_ok, sinr=cur.min_sinr,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Radio(node={self.node_id}, state={self.state.value}, "
+            f"impinging={self._impinging_w:.3e} W)"
+        )

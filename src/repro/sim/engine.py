@@ -1,0 +1,255 @@
+"""Event-scheduling discrete-event simulator.
+
+The engine is a classic binary-heap event loop.  Heap entries are plain
+Python lists ``[time, priority, seq, state, fn, args]`` so ordering
+comparisons run entirely in C (list lexicographic compare); ``seq`` is a
+monotonically increasing insertion counter, so comparisons never reach the
+callback fields and two events scheduled for the same instant with the
+same priority fire in insertion order — which is what makes runs with a
+fixed seed bit-identical across processes and platforms.
+
+Design notes
+------------
+* Event-scheduling (callback) style rather than coroutine processes: for a
+  packet-level network simulation the callback style is both faster in
+  CPython and easier to reason about for deterministic replay (DESIGN.md §6).
+* Cancellation is O(1): handles mark the heap entry dead and the loop
+  skips dead entries when they surface, the standard *lazy deletion* idiom.
+* The clock never goes backwards.  Scheduling strictly in the past raises
+  :class:`~repro.sim.errors.SchedulingError`; scheduling *at* the current
+  time is allowed (zero-delay events are common in layered protocol stacks).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Iterator
+
+from repro.sim.errors import SchedulingError
+
+__all__ = ["EventHandle", "Simulator"]
+
+#: Default priority for ordinary events.  Lower values fire first among
+#: events scheduled for the same instant.
+DEFAULT_PRIORITY = 0
+
+# Heap-entry slots (plain lists for C-speed heap comparisons).
+_TIME, _PRIORITY, _SEQ, _STATE, _FN, _ARGS = range(6)
+
+# Entry states.
+_PENDING, _FIRED, _CANCELLED = range(3)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`Simulator.schedule`.
+
+    Supports O(1) cancellation and queries.  ``expired`` becomes true once
+    the event has either fired or been cancelled.
+    """
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: list) -> None:
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        """Absolute time the event is (or was) scheduled for."""
+        return self._entry[_TIME]
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` was called before the event fired."""
+        return self._entry[_STATE] == _CANCELLED
+
+    @property
+    def expired(self) -> bool:
+        """True once the event has fired or been cancelled."""
+        return self._entry[_STATE] != _PENDING
+
+    def cancel(self) -> None:
+        """Cancel the event.
+
+        Raises
+        ------
+        SchedulingError
+            If the event already fired or was already cancelled.
+        """
+        if self._entry[_STATE] != _PENDING:
+            raise SchedulingError("event already fired or was already cancelled")
+        self._entry[_STATE] = _CANCELLED
+        self._entry[_FN] = None
+        self._entry[_ARGS] = ()
+
+
+class Simulator:
+    """Deterministic binary-heap discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial clock value in seconds (default 0.0).
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    1.5
+    """
+
+    __slots__ = ("_now", "_heap", "_seq", "_running", "_stopped",
+                 "_events_executed")
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        if not math.isfinite(start_time):
+            raise SchedulingError(f"start_time must be finite, got {start_time!r}")
+        self._now = float(start_time)
+        self._heap: list[list] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of callbacks executed so far (cancelled events excluded)."""
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still in the queue."""
+        return sum(1 for e in self._heap if e[_STATE] == _PENDING)
+
+    def peek(self) -> float | None:
+        """Time of the next live event, or None if the queue is empty."""
+        self._drop_dead_head()
+        return self._heap[0][_TIME] if self._heap else None
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(
+        self,
+        time: float,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute time ``time``.
+
+        Raises
+        ------
+        SchedulingError
+            If ``time`` is in the past or not finite.
+        """
+        if time < self._now or not math.isfinite(time):
+            raise SchedulingError(
+                f"cannot schedule at t={time!r} (now={self._now:.9f})"
+            )
+        entry = [time, priority, self._seq, _PENDING, fn, args]
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def schedule_in(
+        self,
+        delay: float,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` after a relative ``delay`` ≥ 0 seconds."""
+        if delay < 0:
+            raise SchedulingError(f"delay must be non-negative, got {delay!r}")
+        return self.schedule(self._now + delay, fn, *args, priority=priority)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, until: float = math.inf, max_events: int | None = None) -> None:
+        """Run until the queue drains, the clock passes ``until``, or
+        ``max_events`` callbacks have executed.
+
+        Events scheduled exactly at ``until`` *are* executed (closed
+        interval), matching the convention of ns-2/ns-3 ``Simulator::Stop``.
+        """
+        if self._running:
+            raise SchedulingError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        budget = math.inf if max_events is None else max_events
+        heap = self._heap
+        pop = heapq.heappop
+        try:
+            while heap and not self._stopped and budget > 0:
+                entry = pop(heap)
+                if entry[_STATE] == _CANCELLED:
+                    continue
+                if entry[_TIME] > until:
+                    # Put it back for a later run() call; advance to bound.
+                    heapq.heappush(heap, entry)
+                    if math.isfinite(until):
+                        self._now = until
+                    break
+                self._now = entry[_TIME]
+                entry[_STATE] = _FIRED
+                fn = entry[_FN]
+                args = entry[_ARGS]
+                entry[_FN] = None  # release references
+                entry[_ARGS] = ()
+                fn(*args)
+                self._events_executed += 1
+                budget -= 1
+            else:
+                if not heap and math.isfinite(until) and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute exactly one live event.  Returns False if queue empty."""
+        self._drop_dead_head()
+        if not self._heap:
+            return False
+        self.run(max_events=1)
+        return True
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current callback."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _drop_dead_head(self) -> None:
+        while self._heap and self._heap[0][_STATE] == _CANCELLED:
+            heapq.heappop(self._heap)
+
+    def drain(self) -> Iterator[tuple[float, Callable[..., None], tuple]]:
+        """Remove and yield remaining live events as ``(time, fn, args)``
+        tuples (mainly for tests)."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry[_STATE] == _PENDING:
+                yield (entry[_TIME], entry[_FN], entry[_ARGS])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Simulator(now={self._now:.6f}, pending={self.pending}, "
+            f"executed={self._events_executed})"
+        )

@@ -1,0 +1,171 @@
+"""Timer and periodic-process helpers layered on the event engine.
+
+Protocol code wants restartable timers (AODV route timeouts, ACK timeouts,
+backoff completion) and repeating activities (HELLO beacons, CBR sources,
+load sampling).  Both are thin, allocation-light wrappers around
+:meth:`repro.sim.engine.Simulator.schedule_in`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.errors import SchedulingError
+
+__all__ = ["Timer", "PeriodicProcess"]
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    The callback fires once, ``delay`` seconds after the most recent
+    :meth:`start` / :meth:`restart`.  Starting a running timer raises;
+    use :meth:`restart` to move the deadline.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> hits = []
+    >>> t = Timer(sim, lambda: hits.append(sim.now))
+    >>> t.start(2.0)
+    >>> sim.run()
+    >>> hits
+    [2.0]
+    """
+
+    __slots__ = ("_sim", "_fn", "_args", "_handle")
+
+    def __init__(self, sim: Simulator, fn: Callable[..., None], *args: Any) -> None:
+        self._sim = sim
+        self._fn = fn
+        self._args = args
+        self._handle: EventHandle | None = None
+
+    @property
+    def running(self) -> bool:
+        """True while a firing is pending."""
+        return self._handle is not None and not self._handle.expired
+
+    @property
+    def expiry(self) -> float | None:
+        """Absolute time of the pending firing, or None when idle."""
+        return self._handle.time if self.running else None
+
+    def start(self, delay: float) -> None:
+        """Arm the timer ``delay`` seconds from now.
+
+        Raises
+        ------
+        SchedulingError
+            If the timer is already running.
+        """
+        if self.running:
+            raise SchedulingError("timer already running; use restart()")
+        self._handle = self._sim.schedule_in(delay, self._fire)
+
+    def restart(self, delay: float) -> None:
+        """(Re)arm the timer, cancelling any pending firing first."""
+        if self.running:
+            self.cancel()
+        self.start(delay)
+
+    def cancel(self) -> None:
+        """Disarm the timer.  Cancelling an idle timer is a no-op."""
+        if self.running:
+            assert self._handle is not None
+            self._handle.cancel()
+        self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._fn(*self._args)
+
+
+class PeriodicProcess:
+    """Repeat a callback at a fixed period, with optional bounded jitter.
+
+    Jitter desynchronises processes that would otherwise phase-lock (all
+    nodes beaconing HELLO at the same instants creates artificial collision
+    bursts — the classic simulation artefact).  When ``jitter_fn`` is given
+    it is called before every firing and must return an offset in
+    ``[0, period)`` added to that firing only.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to schedule on.
+    period:
+        Nominal interval between firings (seconds, > 0).
+    fn:
+        Callback invoked on each firing.
+    jitter_fn:
+        Optional ``() -> float`` returning per-firing jitter.
+    """
+
+    __slots__ = ("_sim", "_period", "_fn", "_args", "_jitter_fn", "_handle", "_fired")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        fn: Callable[..., None],
+        *args: Any,
+        jitter_fn: Callable[[], float] | None = None,
+    ) -> None:
+        if period <= 0:
+            raise SchedulingError(f"period must be positive, got {period!r}")
+        self._sim = sim
+        self._period = float(period)
+        self._fn = fn
+        self._args = args
+        self._jitter_fn = jitter_fn
+        self._handle: EventHandle | None = None
+        self._fired = 0
+
+    @property
+    def running(self) -> bool:
+        """True while the process is active."""
+        return self._handle is not None and not self._handle.expired
+
+    @property
+    def firings(self) -> int:
+        """Number of times the callback has run."""
+        return self._fired
+
+    @property
+    def period(self) -> float:
+        """Nominal firing interval in seconds."""
+        return self._period
+
+    def start(self, initial_delay: float | None = None) -> None:
+        """Begin firing.  First firing after ``initial_delay`` (default: one
+        period, plus jitter if configured)."""
+        if self.running:
+            raise SchedulingError("periodic process already running")
+        delay = self._period if initial_delay is None else initial_delay
+        delay += self._jitter() if initial_delay is None else 0.0
+        self._handle = self._sim.schedule_in(delay, self._fire)
+
+    def stop(self) -> None:
+        """Stop firing.  Stopping an idle process is a no-op."""
+        if self.running:
+            assert self._handle is not None
+            self._handle.cancel()
+        self._handle = None
+
+    def _jitter(self) -> float:
+        if self._jitter_fn is None:
+            return 0.0
+        j = self._jitter_fn()
+        if not 0.0 <= j < self._period:
+            raise SchedulingError(
+                f"jitter {j!r} outside [0, period={self._period!r})"
+            )
+        return j
+
+    def _fire(self) -> None:
+        # Reschedule first so the callback may call stop() to end the cycle.
+        self._handle = self._sim.schedule_in(self._period + self._jitter(), self._fire)
+        self._fired += 1
+        self._fn(*self._args)

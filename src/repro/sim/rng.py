@@ -1,0 +1,74 @@
+"""Named, reproducible random-number streams.
+
+Every source of randomness in a run (per-node MAC backoff, per-flow traffic,
+placement, shadowing, gossip coin flips, ...) draws from its own
+:class:`numpy.random.Generator`, spawned deterministically from one root
+:class:`numpy.random.SeedSequence` keyed by a *name*.  Consequences:
+
+* the same ``seed`` reproduces a run bit-identically;
+* adding a new random consumer does not perturb existing streams (streams
+  are keyed by name, not by creation order);
+* two components never share a stream, so there is no hidden coupling
+  between, say, traffic arrival times and backoff slots.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["RandomStreams"]
+
+
+class RandomStreams:
+    """A registry of named :class:`numpy.random.Generator` substreams.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the whole simulation run.
+
+    Examples
+    --------
+    >>> rs = RandomStreams(seed=42)
+    >>> a = rs.stream("mac.backoff.node3")
+    >>> b = rs.stream("traffic.flow0")
+    >>> a is rs.stream("mac.backoff.node3")   # memoised
+    True
+    >>> int(RandomStreams(42).stream("traffic.flow0").integers(100)) == int(b.integers(100))
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        self._seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """The root seed this registry was constructed with."""
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        The generator is derived from ``(seed, crc32(name))`` so the mapping
+        from name to stream is stable regardless of request order.
+        """
+        gen = self._streams.get(name)
+        if gen is None:
+            key = zlib.crc32(name.encode("utf-8"))
+            gen = np.random.default_rng(
+                np.random.SeedSequence(entropy=self._seed, spawn_key=(key,))
+            )
+            self._streams[name] = gen
+        return gen
+
+    def names(self) -> list[str]:
+        """Names of all streams created so far (sorted)."""
+        return sorted(self._streams)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RandomStreams(seed={self._seed}, streams={len(self._streams)})"

@@ -1,0 +1,127 @@
+"""Structured event tracing.
+
+A :class:`Tracer` collects :class:`TraceRecord` tuples — ``(time, category,
+node, event, details)`` — from every layer.  It is the debugging backbone of
+the simulator: tests assert on traces, and examples print filtered views.
+
+Tracing is off by default and costs one attribute check per call site when
+disabled, so leaving trace calls in hot paths is acceptable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the occurrence.
+    category:
+        Layer or subsystem tag, e.g. ``"phy"``, ``"mac"``, ``"net"``,
+        ``"nlr"``, ``"app"``.
+    node:
+        Node identifier the record pertains to (-1 for global records).
+    event:
+        Short machine-readable event name, e.g. ``"tx_start"``.
+    details:
+        Free-form mapping with event-specific fields.
+    """
+
+    time: float
+    category: str
+    node: int
+    event: str
+    details: dict[str, Any]
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        return f"[{self.time:12.6f}] {self.category:<4} n{self.node:<4} {self.event} {kv}"
+
+
+class Tracer:
+    """Collects trace records, with optional category filtering and sinks.
+
+    Parameters
+    ----------
+    enabled:
+        When False (default) every :meth:`record` call is a cheap no-op.
+    categories:
+        If given, only these categories are recorded.
+    sink:
+        Optional callable invoked with each accepted record (e.g. ``print``);
+        records are retained in memory regardless.
+    max_records:
+        Safety bound; recording beyond it silently drops (count available
+        via :attr:`dropped`).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        categories: set[str] | None = None,
+        sink: Callable[[TraceRecord], None] | None = None,
+        max_records: int = 1_000_000,
+    ) -> None:
+        self.enabled = enabled
+        self._categories = categories
+        self._sink = sink
+        self._max = max_records
+        self._records: list[TraceRecord] = []
+        self.dropped = 0
+
+    def record(
+        self, time: float, category: str, node: int, event: str, **details: Any
+    ) -> None:
+        """Record one occurrence (no-op when disabled or filtered out)."""
+        if not self.enabled:
+            return
+        if self._categories is not None and category not in self._categories:
+            return
+        if len(self._records) >= self._max:
+            self.dropped += 1
+            return
+        rec = TraceRecord(time, category, node, event, details)
+        self._records.append(rec)
+        if self._sink is not None:
+            self._sink(rec)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def filter(
+        self,
+        category: str | None = None,
+        node: int | None = None,
+        event: str | None = None,
+    ) -> list[TraceRecord]:
+        """Records matching every given criterion."""
+        out = []
+        for r in self._records:
+            if category is not None and r.category != category:
+                continue
+            if node is not None and r.node != node:
+                continue
+            if event is not None and r.event != event:
+                continue
+            out.append(r)
+        return out
+
+    def count(self, **kwargs: Any) -> int:
+        """Number of records matching :meth:`filter` criteria."""
+        return len(self.filter(**kwargs))
+
+    def clear(self) -> None:
+        """Discard all retained records."""
+        self._records.clear()
+        self.dropped = 0

@@ -1,0 +1,41 @@
+"""Gateway selection for WMN scenarios.
+
+Mesh traffic is gateway-oriented: most flows terminate at the router(s)
+wired to the Internet.  The selector here picks ``k`` gateways spread over
+the deployment by greedy max-min distance (first pick = node closest to
+the area centroid, matching the "central gateway" layout of the group's
+gateway-centralised routing papers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["select_gateways"]
+
+
+def select_gateways(positions: np.ndarray, k: int = 1) -> list[int]:
+    """Pick ``k`` well-spread gateway node ids.
+
+    The first gateway is the node nearest the centroid; each subsequent
+    one maximises its minimum distance to the gateways chosen so far.
+
+    >>> import numpy as np
+    >>> pos = np.array([[0.,0.],[100.,0.],[0.,100.],[100.,100.],[50.,50.]])
+    >>> select_gateways(pos, 1)
+    [4]
+    """
+    pos = np.asarray(positions, dtype=float)
+    n = len(pos)
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    centroid = pos.mean(axis=0)
+    first = int(np.argmin(np.hypot(*(pos - centroid).T)))
+    chosen = [first]
+    while len(chosen) < k:
+        d = np.full(n, np.inf)
+        for g in chosen:
+            d = np.minimum(d, np.hypot(*(pos - pos[g]).T))
+        d[chosen] = -np.inf
+        chosen.append(int(np.argmax(d)))
+    return chosen

@@ -1,0 +1,118 @@
+"""Mobility models.
+
+Mesh routers are static — :class:`StaticMobility` is the WMN default — but
+the protocol family descends from MANET work, so :class:`RandomWaypoint`
+is provided for the mobile comparisons and robustness tests: each node
+repeatedly picks a uniform destination in the area, moves there at a
+uniform speed, pauses, and repeats.  Positions are pushed into the channel
+at a fixed update period (continuous motion discretised, as ns-2 does
+internally for distance queries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.channel import Channel
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+
+__all__ = ["StaticMobility", "RandomWaypoint"]
+
+
+class StaticMobility:
+    """No-op mobility for fixed mesh routers."""
+
+    def start(self) -> None:
+        """Nothing to do."""
+
+    def stop(self) -> None:
+        """Nothing to do."""
+
+
+class RandomWaypoint:
+    """Random-waypoint motion for a set of nodes.
+
+    Parameters
+    ----------
+    sim, channel:
+        Engine and the channel whose position table is updated.
+    node_ids:
+        Nodes that move (others stay put).
+    area_m:
+        (width, height) of the movement rectangle.
+    speed_range:
+        (min, max) uniform speed in m/s; min > 0 avoids the well-known
+        speed-decay artefact of vmin = 0.
+    pause_s:
+        Pause at each waypoint.
+    rng:
+        Generator driving waypoints/speeds.
+    update_interval_s:
+        Position push period.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: Channel,
+        node_ids: list[int],
+        area_m: tuple[float, float],
+        speed_range: tuple[float, float],
+        rng: np.random.Generator,
+        pause_s: float = 0.0,
+        update_interval_s: float = 0.1,
+    ) -> None:
+        vmin, vmax = speed_range
+        if not 0 < vmin <= vmax:
+            raise ValueError(f"require 0 < vmin <= vmax, got {speed_range!r}")
+        if pause_s < 0:
+            raise ValueError(f"pause must be ≥ 0, got {pause_s!r}")
+        self.sim = sim
+        self.channel = channel
+        self.node_ids = list(node_ids)
+        self.area_m = area_m
+        self.speed_range = speed_range
+        self.pause_s = pause_s
+        self.rng = rng
+        self._proc = PeriodicProcess(sim, update_interval_s, self._tick)
+        # Per node: (target, speed, pause_until)
+        self._state: dict[int, tuple[np.ndarray, float, float]] = {}
+
+    def start(self) -> None:
+        """Assign first waypoints and begin position updates."""
+        for nid in self.node_ids:
+            self._state[nid] = self._new_leg()
+        self._proc.start(initial_delay=self._proc.period)
+
+    def stop(self) -> None:
+        """Stop position updates (nodes freeze in place)."""
+        self._proc.stop()
+
+    def _new_leg(self) -> tuple[np.ndarray, float, float]:
+        target = self.rng.uniform([0.0, 0.0], list(self.area_m))
+        speed = float(self.rng.uniform(*self.speed_range))
+        return target, speed, 0.0
+
+    def _tick(self) -> None:
+        dt = self._proc.period
+        now = self.sim.now
+        for nid in self.node_ids:
+            target, speed, pause_until = self._state[nid]
+            if now < pause_until:
+                continue
+            pos = self.channel.position_of(nid)
+            delta = target - pos
+            dist = float(np.hypot(*delta))
+            step = speed * dt
+            if dist <= step:
+                self.channel.set_position(nid, (float(target[0]), float(target[1])))
+                nxt = self._new_leg()
+                self._state[nid] = (nxt[0], nxt[1], now + self.pause_s)
+            else:
+                newpos = pos + delta * (step / dist)
+                self.channel.set_position(nid, (float(newpos[0]), float(newpos[1])))
+
+    def speed_of(self, node_id: int) -> float:
+        """Current leg speed of ``node_id`` (m/s)."""
+        return self._state[node_id][1]

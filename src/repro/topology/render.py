@@ -1,0 +1,74 @@
+"""ASCII rendering of mesh topologies.
+
+Draws node positions on a character grid — gateways as ``G``, flow sources
+as ``s``, flow destinations as ``d``, other routers as ``o`` — so examples
+and the CLI can show *where* a scenario's traffic concentrates without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_topology"]
+
+
+def render_topology(
+    positions: np.ndarray,
+    gateways: list[int] | None = None,
+    sources: list[int] | None = None,
+    destinations: list[int] | None = None,
+    width: int = 48,
+    height: int = 18,
+    show_ids: bool = False,
+) -> str:
+    """Render node positions as an ASCII map.
+
+    Marker precedence when roles overlap: gateway > destination > source >
+    plain router.  With ``show_ids`` nodes print their id's last digit
+    instead of role glyphs (useful for small meshes).
+    """
+    pos = np.asarray(positions, dtype=float)
+    if pos.ndim != 2 or pos.shape[1] != 2 or len(pos) == 0:
+        raise ValueError("positions must be a non-empty (n, 2) array")
+    if width < 8 or height < 4:
+        raise ValueError("map must be at least 8×4 characters")
+    gateways = set(gateways or [])
+    sources = set(sources or [])
+    destinations = set(destinations or [])
+
+    x_min, y_min = pos.min(axis=0)
+    x_max, y_max = pos.max(axis=0)
+    x_span = max(x_max - x_min, 1.0)
+    y_span = max(y_max - y_min, 1.0)
+
+    grid = [[" "] * width for _ in range(height)]
+    for node_id, (x, y) in enumerate(pos):
+        col = round((x - x_min) / x_span * (width - 1))
+        row = height - 1 - round((y - y_min) / y_span * (height - 1))
+        if show_ids:
+            glyph = str(node_id % 10)
+        elif node_id in gateways:
+            glyph = "G"
+        elif node_id in destinations:
+            glyph = "d"
+        elif node_id in sources:
+            glyph = "s"
+        else:
+            glyph = "o"
+        # Gateways win cell conflicts; otherwise first writer keeps it.
+        if grid[row][col] == " " or glyph == "G":
+            grid[row][col] = glyph
+
+    lines = ["+" + "-" * width + "+"]
+    lines += ["|" + "".join(r) + "|" for r in grid]
+    lines.append("+" + "-" * width + "+")
+    legend = ["o=router"]
+    if gateways:
+        legend.append("G=gateway")
+    if sources:
+        legend.append("s=flow src")
+    if destinations:
+        legend.append("d=flow dst")
+    lines.append(" " + "   ".join(legend))
+    return "\n".join(lines)

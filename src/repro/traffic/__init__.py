@@ -1,0 +1,16 @@
+"""Traffic generation: flow specs, sources, and sinks."""
+
+from repro.traffic.flows import FlowSpec, gateway_flows, random_flow_pairs
+from repro.traffic.generators import CbrSource, OnOffSource, PoissonSource, Source
+from repro.traffic.sink import PacketSink
+
+__all__ = [
+    "CbrSource",
+    "FlowSpec",
+    "OnOffSource",
+    "PacketSink",
+    "PoissonSource",
+    "Source",
+    "gateway_flows",
+    "random_flow_pairs",
+]

@@ -1,0 +1,183 @@
+"""Application traffic sources.
+
+Every source drives a :class:`~repro.net.node.NodeStack` with DATA packets
+for one :class:`~repro.traffic.flows.FlowSpec` and reports each send to an
+optional observer (the metrics layer's
+:class:`~repro.metrics.flowstats.FlowStatsCollector`).
+
+* :class:`CbrSource` — constant bit rate, the paper family's default.
+* :class:`PoissonSource` — exponential inter-arrivals at the same mean
+  rate (burstier medium occupancy, used in robustness experiments).
+* :class:`OnOffSource` — exponential ON/OFF periods with CBR during ON
+  (VoIP/video-like burst structure).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.traffic.flows import FlowSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import NodeStack
+    from repro.net.packet import Packet
+
+__all__ = ["Source", "CbrSource", "PoissonSource", "OnOffSource"]
+
+
+class Source(ABC):
+    """Base class driving one flow from its source node.
+
+    Parameters
+    ----------
+    sim:
+        Event engine.
+    stack:
+        The flow's source node stack.
+    flow:
+        Flow specification.
+    on_send:
+        Optional observer called with each originated packet.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: "NodeStack",
+        flow: FlowSpec,
+        on_send: Callable[["Packet"], None] | None = None,
+    ) -> None:
+        if stack.node_id != flow.src:
+            raise ValueError(
+                f"flow {flow.flow_id} sources at node {flow.src}, "
+                f"not node {stack.node_id}"
+            )
+        self.sim = sim
+        self.stack = stack
+        self.flow = flow
+        self.on_send = on_send
+        self.seq = 0
+        self._handle: EventHandle | None = None
+        self._running = False
+
+    def start(self) -> None:
+        """Arm the source to begin at ``flow.start_s``."""
+        if self._running:
+            return
+        self._running = True
+        start = max(self.flow.start_s, self.sim.now)
+        self._handle = self.sim.schedule(start, self._emit)
+
+    def stop(self) -> None:
+        """Silence the source immediately."""
+        self._running = False
+        if self._handle is not None and not self._handle.expired:
+            self._handle.cancel()
+        self._handle = None
+
+    def _emit(self) -> None:
+        self._handle = None
+        if not self._running or self.sim.now >= self.flow.stop_s:
+            self._running = False
+            return
+        packet = self.stack.send_data(
+            dst=self.flow.dst,
+            payload_bytes=self.flow.payload_bytes,
+            flow_id=self.flow.flow_id,
+            seq=self.seq,
+        )
+        self.seq += 1
+        if self.on_send is not None:
+            self.on_send(packet)
+        gap = self.next_gap_s()
+        if self.sim.now + gap < self.flow.stop_s:
+            self._handle = self.sim.schedule_in(gap, self._emit)
+        else:
+            self._running = False
+
+    @abstractmethod
+    def next_gap_s(self) -> float:
+        """Inter-packet gap after the packet just sent."""
+
+
+class CbrSource(Source):
+    """Constant bit rate: fixed gap ``1 / rate_pps``."""
+
+    def next_gap_s(self) -> float:
+        return 1.0 / self.flow.rate_pps
+
+
+class PoissonSource(Source):
+    """Poisson arrivals: exponential gaps with mean ``1 / rate_pps``.
+
+    Parameters
+    ----------
+    rng:
+        Generator for the gap draws (own stream per flow).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: "NodeStack",
+        flow: FlowSpec,
+        rng: np.random.Generator,
+        on_send: Callable[["Packet"], None] | None = None,
+    ) -> None:
+        super().__init__(sim, stack, flow, on_send)
+        self.rng = rng
+
+    def next_gap_s(self) -> float:
+        return float(self.rng.exponential(1.0 / self.flow.rate_pps))
+
+
+class OnOffSource(Source):
+    """Exponential ON/OFF bursts with CBR inside ON periods.
+
+    The mean rate over time equals ``rate_pps · on_mean / (on_mean +
+    off_mean)``; configure ``rate_pps`` as the *peak* in-burst rate.
+
+    Parameters
+    ----------
+    rng:
+        Generator for period draws.
+    on_mean_s, off_mean_s:
+        Mean burst / silence durations.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: "NodeStack",
+        flow: FlowSpec,
+        rng: np.random.Generator,
+        on_mean_s: float = 1.0,
+        off_mean_s: float = 1.0,
+        on_send: Callable[["Packet"], None] | None = None,
+    ) -> None:
+        if on_mean_s <= 0 or off_mean_s <= 0:
+            raise ValueError("ON/OFF means must be positive")
+        super().__init__(sim, stack, flow, on_send)
+        self.rng = rng
+        self.on_mean_s = on_mean_s
+        self.off_mean_s = off_mean_s
+        self._burst_ends = 0.0
+
+    def _emit(self) -> None:
+        if self.sim.now >= self._burst_ends:
+            # Start a fresh burst window upon (re-)entry.
+            self._burst_ends = self.sim.now + float(
+                self.rng.exponential(self.on_mean_s)
+            )
+        super()._emit()
+
+    def next_gap_s(self) -> float:
+        gap = 1.0 / self.flow.rate_pps
+        if self.sim.now + gap < self._burst_ends:
+            return gap
+        off = float(self.rng.exponential(self.off_mean_s))
+        return (self._burst_ends - self.sim.now) + off

@@ -1,0 +1,45 @@
+"""Packet sink: terminates flows at their destination node.
+
+One :class:`PacketSink` is installed per node (as the stack's
+``receive_callback``); it forwards every delivered DATA packet to the
+metrics collector and keeps simple per-node tallies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import NodeStack
+    from repro.net.packet import Packet
+
+__all__ = ["PacketSink"]
+
+
+class PacketSink:
+    """Receives delivered DATA packets at one node.
+
+    Parameters
+    ----------
+    stack:
+        Node stack to attach to.
+    on_receive:
+        Observer for each delivered packet (metrics collector).
+    """
+
+    def __init__(
+        self,
+        stack: "NodeStack",
+        on_receive: Callable[["Packet"], None] | None = None,
+    ) -> None:
+        self.stack = stack
+        self.on_receive = on_receive
+        self.received = 0
+        self.bytes_received = 0
+        stack.receive_callback = self._on_packet
+
+    def _on_packet(self, packet: "Packet") -> None:
+        self.received += 1
+        self.bytes_received += packet.payload_bytes
+        if self.on_receive is not None:
+            self.on_receive(packet)

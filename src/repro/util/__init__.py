@@ -1,0 +1,5 @@
+"""Small shared utilities."""
+
+from repro.util.validation import require, require_in_range, require_positive
+
+__all__ = ["require", "require_in_range", "require_positive"]

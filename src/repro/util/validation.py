@@ -1,0 +1,48 @@
+"""Argument validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["require", "require_positive", "require_in_range"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition``.
+
+    >>> require(True, "fine")
+    >>> require(False, "boom")
+    Traceback (most recent call last):
+        ...
+    ValueError: boom
+    """
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate ``value > 0`` and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def require_in_range(
+    value: float, name: str, lo: float, hi: float, inclusive: bool = True
+) -> float:
+    """Validate ``lo ≤ value ≤ hi`` (or strict) and return it."""
+    ok = lo <= value <= hi if inclusive else lo < value < hi
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must be in {bracket[0]}{lo}, {hi}{bracket[1]}, got {value!r}"
+        )
+    return value
+
+
+def require_type(value: Any, name: str, *types: type) -> Any:
+    """Validate ``isinstance(value, types)`` and return it."""
+    if not isinstance(value, types):
+        names = ", ".join(t.__name__ for t in types)
+        raise TypeError(f"{name} must be of type {names}, got {type(value).__name__}")
+    return value

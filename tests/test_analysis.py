@@ -1,0 +1,64 @@
+"""Tests for replication statistics."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import ConfidenceInterval, mean_ci, summarize
+
+
+class TestMeanCi:
+    def test_mean(self):
+        ci = mean_ci([1.0, 2.0, 3.0])
+        assert ci.mean == pytest.approx(2.0)
+        assert ci.n == 3
+
+    def test_single_sample_zero_width(self):
+        ci = mean_ci([5.0])
+        assert ci.mean == 5.0
+        assert ci.half_width == 0.0
+
+    def test_empty_is_nan(self):
+        ci = mean_ci([])
+        assert math.isnan(ci.mean)
+        assert ci.n == 0
+
+    def test_nans_dropped(self):
+        ci = mean_ci([1.0, float("nan"), 3.0])
+        assert ci.mean == pytest.approx(2.0)
+        assert ci.n == 2
+
+    def test_t_quantile_matches_textbook(self):
+        # n=5, 95 %: t = 2.776; samples with sd=1 → hw = 2.776/sqrt(5)
+        vals = [-1.26491106, -0.63245553, 0.0, 0.63245553, 1.26491106]
+        ci = mean_ci(vals, level=0.95)
+        assert ci.half_width == pytest.approx(2.776 / math.sqrt(5), rel=1e-3)
+
+    def test_bounds(self):
+        ci = mean_ci([2.0, 4.0, 6.0])
+        assert ci.low == pytest.approx(ci.mean - ci.half_width)
+        assert ci.high == pytest.approx(ci.mean + ci.half_width)
+
+    def test_str(self):
+        assert "±" in str(mean_ci([1.0, 2.0]))
+
+    def test_wider_at_higher_level(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        assert mean_ci(vals, 0.99).half_width > mean_ci(vals, 0.90).half_width
+
+
+class TestSummarize:
+    def test_per_key(self):
+        rows = [{"a": 1.0, "b": 10.0}, {"a": 3.0, "b": 20.0}]
+        s = summarize(rows)
+        assert s["a"].mean == pytest.approx(2.0)
+        assert s["b"].mean == pytest.approx(15.0)
+
+    def test_missing_keys_tolerated(self):
+        rows = [{"a": 1.0}, {"a": 3.0, "b": 5.0}]
+        s = summarize(rows)
+        assert s["b"].n == 1
+
+    def test_types(self):
+        s = summarize([{"x": 1.0}])
+        assert isinstance(s["x"], ConfidenceInterval)

@@ -1,0 +1,100 @@
+"""Tests for the ASCII chart renderer and its report integration."""
+
+import math
+
+import pytest
+
+from repro.metrics.asciichart import line_chart
+
+
+class TestLineChart:
+    def test_basic_rendering(self):
+        out = line_chart([0, 1, 2], {"a": [0.0, 0.5, 1.0]}, width=20, height=6)
+        assert "o" in out
+        assert "o=a" in out
+        assert "+" + "-" * 20 in out
+
+    def test_multiple_series_distinct_glyphs(self):
+        out = line_chart(
+            [0, 1, 2],
+            {"a": [0, 1, 2], "b": [2, 1, 0]},
+            width=20, height=6,
+        )
+        assert "o=a" in out and "x=b" in out
+        assert "x" in out.splitlines()[0] or "x" in out
+
+    def test_title_and_labels(self):
+        out = line_chart([0, 1, 2], {"s": [1, 2, 3]}, width=20, height=6,
+                         title="T", y_label="y", x_label="x")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert any("y |" in ln for ln in lines)
+        assert "x" in lines[-2]
+
+    def test_y_extremes_labelled(self):
+        out = line_chart([0, 1], {"s": [5.0, 10.0]}, width=20, height=6)
+        assert "10" in out and "5" in out
+
+    def test_nan_points_skipped(self):
+        out = line_chart(
+            [0, 1, 2], {"s": [1.0, math.nan, 3.0]}, width=20, height=6
+        )
+        assert out.count("o") >= 2  # two finite points (+ legend glyph)
+
+    def test_flat_series_no_crash(self):
+        out = line_chart([0, 1, 2], {"s": [4.0, 4.0, 4.0]}, width=20, height=6)
+        assert "o" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([], {"s": []})
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            line_chart([0], {}, width=20)
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {"s": [1, 2]}, width=5, height=2)
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {"s": [math.nan, math.nan]})
+        with pytest.raises(ValueError):
+            line_chart(
+                [0, 1],
+                {chr(97 + i): [0, 1] for i in range(9)},  # 9 series > glyphs
+            )
+
+
+class TestFigureCharts:
+    def test_numeric_figure_produces_charts(self):
+        from repro.experiments.figures import FigureResult
+        from repro.experiments.report import figure_charts
+
+        fig = FigureResult(
+            name="figX", title="t",
+            headers=["rate", "aodv_pdr", "nlr_pdr"],
+            rows=[[10, 1.0, 1.0], [20, 0.9, 0.95], [30, 0.7, 0.8]],
+        )
+        charts = figure_charts(fig)
+        assert len(charts) == 1
+        assert "aodv" in charts[0] and "nlr" in charts[0]
+
+    def test_categorical_figure_produces_none(self):
+        from repro.experiments.figures import FigureResult
+        from repro.experiments.report import figure_charts
+
+        fig = FigureResult(
+            name="t2", title="t",
+            headers=["protocol", "pdr"],
+            rows=[["aodv", 0.9], ["nlr", 0.95], ["oracle", 0.97]],
+        )
+        assert figure_charts(fig) == []
+
+    def test_short_series_skipped(self):
+        from repro.experiments.figures import FigureResult
+        from repro.experiments.report import figure_charts
+
+        fig = FigureResult(
+            name="t3", title="t",
+            headers=["rate", "a_pdr", "b_pdr"],
+            rows=[[1, 0.5, 0.6], [2, 0.4, 0.5]],
+        )
+        assert figure_charts(fig) == []

@@ -1,0 +1,73 @@
+"""Cross-feature combination tests (features that must compose)."""
+
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import ScenarioConfig
+from repro.mac.csma import MacConfig
+
+
+def run(**kw):
+    defaults = dict(
+        grid_nx=3, grid_ny=3, n_flows=2, flow_rate_pps=8.0,
+        sim_time_s=10.0, warmup_s=2.0, seed=7,
+    )
+    defaults.update(kw)
+    return run_scenario(ScenarioConfig(**defaults))
+
+
+class TestFeatureCombinations:
+    def test_nlr_with_rts_cts(self):
+        r = run(protocol="nlr", mac_config=MacConfig(rts_cts_enabled=True))
+        assert r.pdr > 0.9
+
+    def test_nlr_with_shadowing(self):
+        r = run(protocol="nlr", shadowing_sigma_db=3.0, seed=19)
+        assert r.pdr > 0.5
+
+    def test_dsdv_with_mobility(self):
+        r = run(
+            protocol="dsdv", topology="random", n_nodes=14,
+            area_m=(700.0, 700.0), mobility="rwp", speed_range=(2.0, 6.0),
+            sim_time_s=15.0, warmup_s=6.0, seed=5,
+        )
+        assert r.packets_sent > 0
+        assert r.pdr > 0.3
+
+    def test_gossip_with_onoff_traffic(self):
+        r = run(protocol="gossip", traffic="onoff")
+        assert r.pdr > 0.8
+
+    def test_counter_with_poisson_and_gateway(self):
+        r = run(protocol="counter", traffic="poisson",
+                flow_pattern="gateway", n_gateways=1)
+        assert r.pdr > 0.9
+
+    def test_oracle_with_rts_and_shadowing(self):
+        r = run(protocol="oracle",
+                mac_config=MacConfig(rts_cts_enabled=True),
+                shadowing_sigma_db=2.0, seed=23)
+        assert r.pdr > 0.6
+
+    def test_nlr_expanding_ring(self):
+        from repro.core.nlr import NlrConfig
+        from repro.net.aodv import AodvConfig
+
+        nlr = NlrConfig(
+            aodv=AodvConfig(
+                dest_reply_wait_s=0.05, intermediate_reply=False,
+                origin_refresh_on_use=False, active_route_timeout_s=5.0,
+                expanding_ring=True,
+            )
+        )
+        r = run(protocol="nlr", nlr=nlr, grid_nx=4, grid_ny=4)
+        assert r.pdr > 0.9
+
+    def test_dsdv_deterministic(self):
+        a = run(protocol="dsdv")
+        b = run(protocol="dsdv")
+        assert a.totals == b.totals
+
+    def test_mac_rts_with_dsdv(self):
+        r = run(protocol="dsdv", mac_config=MacConfig(rts_cts_enabled=True))
+        assert r.pdr > 0.85

@@ -1,0 +1,92 @@
+"""Unit tests for the load-adaptive forwarding policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.forwarding_policy import LoadAdaptiveGossip
+from repro.net.gossip import PolicyContext
+
+
+def ctx(hop=3, neighbours=6, load=0.0, dups=0):
+    return PolicyContext(
+        node_id=1, hop_count=hop, neighbour_count=neighbours,
+        neighbourhood_load=load, duplicates_seen=dups,
+    )
+
+
+def make(rng_seed=1, **kw):
+    return LoadAdaptiveGossip(np.random.default_rng(rng_seed), **kw)
+
+
+class TestProbabilityCurve:
+    def test_zero_load_is_p_max(self):
+        p = make(p_max=1.0, p_min=0.4, gamma=0.6)
+        assert p.probability(0.0) == 1.0
+
+    def test_full_load_hits_floor(self):
+        p = make(p_max=1.0, p_min=0.4, gamma=0.9)
+        assert p.probability(1.0) == pytest.approx(0.4)
+
+    def test_linear_in_between(self):
+        p = make(p_max=1.0, p_min=0.1, gamma=0.6)
+        assert p.probability(0.5) == pytest.approx(0.7)
+
+    def test_load_clamped(self):
+        p = make()
+        assert p.probability(-1.0) == p.probability(0.0)
+        assert p.probability(2.0) == p.probability(1.0)
+
+    def test_monotone_nonincreasing(self):
+        p = make(gamma=0.8, p_min=0.2)
+        probs = [p.probability(x) for x in np.linspace(0, 1, 11)]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+
+class TestSafeguards:
+    def test_first_hops_forced(self):
+        p = make(gamma=10.0, p_min=0.4, always_first_hops=2)
+        for _ in range(50):
+            assert p.decide(ctx(hop=0, load=1.0)).forward
+            assert p.decide(ctx(hop=1, load=1.0)).forward
+        assert p.forced_forwards == 100
+
+    def test_sparse_nodes_forced(self):
+        p = make(sparse_degree=4)
+        for _ in range(50):
+            assert p.decide(ctx(neighbours=3, load=1.0)).forward
+
+    def test_dense_loaded_node_uses_coin(self):
+        p = make(p_min=0.4, gamma=0.6)
+        n = 4000
+        fwd = sum(p.decide(ctx(load=1.0)).forward for _ in range(n))
+        assert fwd / n == pytest.approx(0.4, abs=0.03)
+        assert p.coin_flips == n
+
+    def test_unloaded_forwards_at_p_max(self):
+        p = make(p_max=1.0)
+        assert all(p.decide(ctx(load=0.0)).forward for _ in range(100))
+
+
+class TestLoadProvider:
+    def test_provider_overrides_context(self):
+        p = make(load_provider=lambda: 1.0, p_min=0.4, gamma=0.6)
+        n = 2000
+        fwd = sum(p.decide(ctx(load=0.0)).forward for _ in range(n))
+        # provider says fully loaded even though ctx says idle
+        assert fwd / n == pytest.approx(0.4, abs=0.04)
+
+
+class TestValidation:
+    def test_p_ordering(self):
+        with pytest.raises(ValueError):
+            make(p_min=0.9, p_max=0.5)
+        with pytest.raises(ValueError):
+            make(p_min=0.0)
+
+    def test_negative_gamma(self):
+        with pytest.raises(ValueError):
+            make(gamma=-0.1)
+
+    def test_negative_safeguards(self):
+        with pytest.raises(ValueError):
+            make(always_first_hops=-1)

@@ -1,0 +1,162 @@
+"""Unit tests for the cross-layer bus, load estimator, and neighbourhood load."""
+
+import pytest
+
+from repro.core.cross_layer import CrossLayerBus, LoadSample
+from repro.core.load_metric import LoadEstimator, NeighbourhoodLoad
+from repro.net.hello import NeighbourTable
+from repro.sim.engine import Simulator
+
+
+class FakeMac:
+    def __init__(self, queue=0.0, busy=0.0):
+        self._queue = queue
+        self._busy = busy
+
+    @property
+    def queue_occupancy(self):
+        return self._queue
+
+    def channel_busy_ratio(self):
+        return self._busy
+
+
+def sample(q=0.0, b=0.0, t=0.0):
+    return LoadSample(time=t, queue_occupancy=q, busy_ratio=b)
+
+
+class TestCrossLayerBus:
+    def test_periodic_sampling(self):
+        sim = Simulator()
+        bus = CrossLayerBus(sim, FakeMac(queue=0.5, busy=0.2), 0.25)
+        got = []
+        bus.subscribe(got.append)
+        bus.start()
+        sim.run(until=1.0)
+        assert len(got) == 4
+        assert got[0].queue_occupancy == 0.5
+        assert got[0].busy_ratio == 0.2
+
+    def test_sample_now_immediate(self):
+        sim = Simulator()
+        bus = CrossLayerBus(sim, FakeMac(queue=0.9))
+        s = bus.sample_now()
+        assert s.queue_occupancy == 0.9
+        assert bus.last_sample is s
+        assert bus.samples_taken == 1
+
+    def test_multiple_subscribers(self):
+        sim = Simulator()
+        bus = CrossLayerBus(sim, FakeMac())
+        a, b = [], []
+        bus.subscribe(a.append)
+        bus.subscribe(b.append)
+        bus.sample_now()
+        assert len(a) == len(b) == 1
+
+    def test_stop_halts(self):
+        sim = Simulator()
+        bus = CrossLayerBus(sim, FakeMac(), 0.25)
+        got = []
+        bus.subscribe(got.append)
+        bus.start()
+        sim.run(until=0.5)
+        bus.stop()
+        sim.run(until=5.0)
+        assert len(got) == 2
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            CrossLayerBus(Simulator(), FakeMac(), 0.0)
+
+
+class TestLoadEstimator:
+    def test_first_sample_initialises(self):
+        e = LoadEstimator(queue_weight=1.0)
+        e.on_sample(sample(q=0.8))
+        assert e.load() == pytest.approx(0.8)
+
+    def test_ewma_converges(self):
+        e = LoadEstimator(queue_weight=1.0, alpha_ewma=0.3)
+        for _ in range(60):
+            e.on_sample(sample(q=0.6))
+        assert e.load() == pytest.approx(0.6, abs=1e-6)
+
+    def test_ewma_smooths_spikes(self):
+        e = LoadEstimator(queue_weight=1.0, alpha_ewma=0.3)
+        e.on_sample(sample(q=0.0))
+        e.on_sample(sample(q=1.0))  # one spike
+        assert e.load() == pytest.approx(0.3)
+
+    def test_blend_weights(self):
+        e = LoadEstimator(queue_weight=0.25)
+        e.on_sample(sample(q=1.0, b=0.0))
+        assert e.load() == pytest.approx(0.25)
+        e2 = LoadEstimator(queue_weight=0.25)
+        e2.on_sample(sample(q=0.0, b=1.0))
+        assert e2.load() == pytest.approx(0.75)
+
+    def test_endpoints_are_ablation_variants(self):
+        q_only = LoadEstimator(queue_weight=1.0)
+        b_only = LoadEstimator(queue_weight=0.0)
+        for e in (q_only, b_only):
+            e.on_sample(sample(q=0.9, b=0.1))
+        assert q_only.load() == pytest.approx(0.9)
+        assert b_only.load() == pytest.approx(0.1)
+
+    def test_load_clamped_to_unit(self):
+        e = LoadEstimator()
+        e.on_sample(sample(q=1.0, b=1.0))
+        assert 0.0 <= e.load() <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadEstimator(queue_weight=1.5)
+        with pytest.raises(ValueError):
+            LoadEstimator(alpha_ewma=0.0)
+
+    def test_component_accessors(self):
+        e = LoadEstimator()
+        e.on_sample(sample(q=0.4, b=0.8))
+        assert e.queue_load == pytest.approx(0.4)
+        assert e.busy_load == pytest.approx(0.8)
+
+
+class TestNeighbourhoodLoad:
+    def _make(self, own=0.6, own_weight=0.5, neighbour_loads=()):
+        sim = Simulator()
+        est = LoadEstimator(queue_weight=1.0, alpha_ewma=1.0)
+        est.on_sample(sample(q=own))
+        table = NeighbourTable(sim)
+        for i, load in enumerate(neighbour_loads):
+            table.heard(i + 10, load=load)
+        return NeighbourhoodLoad(est, table, own_weight=own_weight)
+
+    def test_no_neighbours_is_own_load(self):
+        nl = self._make(own=0.6)
+        assert nl.value() == pytest.approx(0.6)
+
+    def test_blends_neighbour_mean(self):
+        nl = self._make(own=0.6, neighbour_loads=[0.2, 0.4])
+        # 0.5·0.6 + 0.5·0.3
+        assert nl.value() == pytest.approx(0.45)
+
+    def test_own_weight_one_ignores_neighbours(self):
+        nl = self._make(own=0.6, own_weight=1.0, neighbour_loads=[1.0, 1.0])
+        assert nl.value() == pytest.approx(0.6)
+
+    def test_own_weight_zero_is_pure_neighbourhood(self):
+        nl = self._make(own=0.0, own_weight=0.0, neighbour_loads=[0.8])
+        assert nl.value() == pytest.approx(0.8)
+
+    def test_clamped(self):
+        nl = self._make(own=1.0, neighbour_loads=[1.0])
+        assert nl.value() <= 1.0
+
+    def test_own_load_accessor(self):
+        nl = self._make(own=0.3)
+        assert nl.own_load() == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._make(own_weight=1.2)

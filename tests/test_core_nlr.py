@@ -1,0 +1,203 @@
+"""Behavioural tests for NLR — the paper's contribution — over the ideal MAC."""
+
+import pytest
+
+from repro.core.nlr import NlrConfig, NlrRouting
+from repro.net.aodv import AodvConfig
+
+from tests.conftest import DIAMOND, chain_adjacency, make_perfect_net
+
+
+class FakeLoadSource:
+    """Stand-in MAC signal source pinning a node's load."""
+
+    def __init__(self, queue=0.0, busy=0.0):
+        self.queue = queue
+        self.busy = busy
+
+    @property
+    def queue_occupancy(self):
+        return self.queue
+
+    def channel_busy_ratio(self):
+        return self.busy
+
+
+def nlr_factory(config=None):
+    def make(node_id, streams):
+        return NlrRouting(
+            config or NlrConfig(), streams.stream(f"routing.{node_id}")
+        )
+
+    return make
+
+
+def diamond_net(hop_weight, loaded_node=1, load=0.9, seed=9):
+    """Diamond with a pinned queue load on ``loaded_node``."""
+    cfg = NlrConfig(
+        aodv=AodvConfig(dest_reply_wait_s=0.05, intermediate_reply=False),
+        hop_weight=hop_weight,
+        queue_weight=1.0,  # load := queue EWMA only (deterministic here)
+    )
+    sim, stacks = make_perfect_net(DIAMOND, nlr_factory(cfg), seed=seed)
+    stacks[loaded_node].routing.bus.source = FakeLoadSource(queue=load)
+    for s in stacks:
+        s.start()
+    sim.run(until=3.0)  # hellos propagate advertised loads
+    return sim, stacks
+
+
+class TestLoadAwareSelection:
+    def test_low_hop_weight_detours_around_load(self):
+        sim, stacks = diamond_net(hop_weight=0.25)
+        got = []
+        stacks[4].receive_callback = got.append
+        stacks[0].send_data(dst=4, payload_bytes=100, seq=0)
+        sim.run(until=6.0)
+        assert len(got) == 1
+        assert got[0].hops == 3  # long, unloaded path 0-2-3-4
+
+    def test_high_hop_weight_keeps_short_path(self):
+        sim, stacks = diamond_net(hop_weight=2.0)
+        got = []
+        stacks[4].receive_callback = got.append
+        stacks[0].send_data(dst=4, payload_bytes=100, seq=0)
+        sim.run(until=6.0)
+        assert len(got) == 1
+        assert got[0].hops == 2  # short path despite the loaded relay
+
+    def test_unloaded_network_takes_shortest_path(self):
+        sim, stacks = diamond_net(hop_weight=0.25, load=0.0)
+        got = []
+        stacks[4].receive_callback = got.append
+        stacks[0].send_data(dst=4, payload_bytes=100, seq=0)
+        sim.run(until=6.0)
+        assert got[0].hops == 2
+
+    def test_rrep_echoes_winning_path_load(self):
+        sim, stacks = diamond_net(hop_weight=0.25)
+        stacks[0].send_data(dst=4, payload_bytes=100, seq=0)
+        sim.run(until=6.0)
+        route = stacks[0].routing.table.lookup(4)
+        assert route is not None
+        # detour cost: ≈0 load + 0.25·3 hops (plus tiny residual loads)
+        assert route.cost == pytest.approx(0.75, abs=0.3)
+
+
+class TestCrossLayerPlumbing:
+    def test_hello_advertises_estimator_load(self):
+        cfg = NlrConfig(queue_weight=1.0)
+        sim, stacks = make_perfect_net(chain_adjacency(3), nlr_factory(cfg))
+        stacks[1].routing.bus.source = FakeLoadSource(queue=0.8)
+        for s in stacks:
+            s.start()
+        sim.run(until=4.0)
+        # neighbours 0 and 2 have learned node 1's load from HELLOs
+        ewma_target = stacks[1].routing.estimator.load()
+        for observer in (0, 2):
+            n = stacks[observer].routing.neighbour_table.get(1)
+            assert n is not None
+            assert n.load == pytest.approx(ewma_target, abs=0.15)
+            assert n.load > 0.5
+
+    def test_neighbourhood_load_blends_neighbours(self):
+        cfg = NlrConfig(queue_weight=1.0, own_weight=0.5)
+        sim, stacks = make_perfect_net(chain_adjacency(3), nlr_factory(cfg))
+        stacks[1].routing.bus.source = FakeLoadSource(queue=0.8)
+        for s in stacks:
+            s.start()
+        sim.run(until=4.0)
+        # Node 0 is idle but sits next to loaded node 1: NL0 = α·0 + (1-α)·L1.
+        nl0 = stacks[0].routing.neighbourhood.value()
+        assert nl0 == pytest.approx(0.4, abs=0.1)
+        # Node 1 blends its own load with two idle neighbours: α·L1 + 0.
+        nl1 = stacks[1].routing.neighbourhood.value()
+        assert nl1 == pytest.approx(0.4, abs=0.1)
+        # Node 2's view mirrors node 0's (symmetry).
+        nl2 = stacks[2].routing.neighbourhood.value()
+        assert nl2 == pytest.approx(nl0, abs=0.02)
+
+    def test_bus_samples_periodically(self):
+        cfg = NlrConfig(sample_interval_s=0.25)
+        sim, stacks = make_perfect_net(chain_adjacency(2), nlr_factory(cfg))
+        for s in stacks:
+            s.start()
+        sim.run(until=2.0)
+        assert stacks[0].routing.bus.samples_taken == 8
+
+    def test_stop_halts_bus(self):
+        sim, stacks = make_perfect_net(chain_adjacency(2), nlr_factory())
+        for s in stacks:
+            s.start()
+        sim.run(until=1.0)
+        for s in stacks:
+            s.stop()
+        taken = stacks[0].routing.bus.samples_taken
+        sim.run(until=5.0)
+        assert stacks[0].routing.bus.samples_taken == taken
+
+
+class TestNlrConfig:
+    def test_defaults_enable_contribution_mechanisms(self):
+        cfg = NlrConfig()
+        assert cfg.aodv.dest_reply_wait_s > 0
+        assert not cfg.aodv.intermediate_reply
+        assert not cfg.aodv.origin_refresh_on_use
+        assert cfg.adaptive_forwarding
+
+    def test_load_extension_flag(self):
+        import numpy as np
+
+        r = NlrRouting(NlrConfig(), np.random.default_rng(0))
+        assert r.uses_load_extension
+        assert r.name == "nlr"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NlrConfig(hop_weight=-1.0)
+        with pytest.raises(ValueError):
+            NlrConfig(sample_interval_s=0.0)
+
+    def test_adaptive_forwarding_off_uses_blind(self):
+        import numpy as np
+
+        r = NlrRouting(
+            NlrConfig(adaptive_forwarding=False), np.random.default_rng(0)
+        )
+        assert r.rreq_policy.name == "blind"
+
+
+class TestPeriodicReselection:
+    def test_route_re_selected_when_load_moves(self):
+        # Start with node 1 loaded → detour via 2-3; then load moves to
+        # node 3 → after the route ages out, traffic returns to 0-1-4.
+        cfg = NlrConfig(
+            aodv=AodvConfig(
+                dest_reply_wait_s=0.05, intermediate_reply=False,
+                origin_refresh_on_use=False, active_route_timeout_s=1.0,
+            ),
+            hop_weight=0.25, queue_weight=1.0,
+        )
+        sim, stacks = make_perfect_net(DIAMOND, nlr_factory(cfg), seed=11)
+        src1 = FakeLoadSource(queue=0.9)
+        src3 = FakeLoadSource(queue=0.0)
+        stacks[1].routing.bus.source = src1
+        stacks[3].routing.bus.source = src3
+        for s in stacks:
+            s.start()
+        sim.run(until=3.0)
+        got = []
+        stacks[4].receive_callback = got.append
+        for k in range(30):
+            sim.schedule(3.0 + 0.2 * k, stacks[0].send_data, 4, 100, 0, k)
+        # Swap the hotspot at t = 5 s.
+        def swap():
+            src1.queue = 0.0
+            src3.queue = 0.9
+        sim.schedule(5.0, swap)
+        sim.run(until=12.0)
+        hops_by_seq = {p.seq: p.hops for p in got}
+        early = [hops_by_seq[k] for k in range(3) if k in hops_by_seq]
+        late = [hops_by_seq[k] for k in range(25, 30) if k in hops_by_seq]
+        assert early and all(h == 3 for h in early)   # detour first
+        assert late and all(h == 2 for h in late)     # short path after swap

@@ -1,0 +1,127 @@
+"""Tests for the optional protocol extensions: expanding-ring search and
+random-waypoint mobility scenarios."""
+
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import ScenarioConfig
+from repro.net.aodv import AodvConfig, AodvRouting
+
+from tests.conftest import chain_adjacency, make_perfect_net
+
+
+def aodv_factory(config):
+    def make(node_id, streams):
+        return AodvRouting(config, streams.stream(f"routing.{node_id}"))
+
+    return make
+
+
+class TestExpandingRing:
+    def test_near_destination_found_with_small_ttl(self):
+        cfg = AodvConfig(expanding_ring=True, ttl_start=2, ttl_increment=2,
+                         ttl_threshold=7, hello_enabled=False)
+        sim, stacks = make_perfect_net(chain_adjacency(8), aodv_factory(cfg))
+        for s in stacks:
+            s.start()
+        got = []
+        stacks[2].receive_callback = got.append
+        stacks[0].send_data(dst=2, payload_bytes=10)
+        sim.run(until=3.0)
+        assert len(got) == 1
+        # Ring of TTL 2 reaches node 2; nodes beyond never saw the flood.
+        assert stacks[5].routing.rreq_forwarded == 0
+        assert stacks[0].routing.control_tx["rreq"] >= 1
+
+    def test_far_destination_needs_ring_expansion(self):
+        cfg = AodvConfig(expanding_ring=True, ttl_start=2, ttl_increment=2,
+                         ttl_threshold=7, rreq_wait_s=0.2,
+                         hello_enabled=False)
+        sim, stacks = make_perfect_net(chain_adjacency(8), aodv_factory(cfg))
+        for s in stacks:
+            s.start()
+        got = []
+        stacks[7].receive_callback = got.append
+        stacks[0].send_data(dst=7, payload_bytes=10)
+        sim.run(until=6.0)
+        assert len(got) == 1
+        # Multiple rings were sent before the destination was reached.
+        assert stacks[0].routing.control_tx["rreq"] >= 3
+
+    def test_ring_attempts_do_not_consume_retries(self):
+        # Destination unreachable: rings expand 2→4→6, then the full-TTL
+        # attempts consume rreq_retries, then discovery fails.
+        cfg = AodvConfig(expanding_ring=True, ttl_start=2, ttl_increment=2,
+                         ttl_threshold=6, rreq_retries=1, rreq_wait_s=0.1,
+                         rreq_ttl=16, hello_enabled=False)
+        adj = chain_adjacency(3)
+        adj[9] = []  # isolated destination
+        sim, stacks = make_perfect_net(adj, aodv_factory(cfg))
+        for s in stacks:
+            s.start()
+        origin = stacks[0]
+        origin.send_data(dst=9, payload_bytes=10)
+        sim.run(until=10.0)
+        r = origin.routing
+        assert r.discoveries_failed == 1
+        # 3 rings (2,4,6) + full-TTL initial + 1 retry = 5 originations
+        assert r.control_tx["rreq"] == 5
+
+    def test_expanding_ring_reduces_overhead_on_grid(self):
+        base = ScenarioConfig(
+            protocol="aodv", grid_nx=5, grid_ny=5, n_flows=3,
+            sim_time_s=10.0, warmup_s=1.0, seed=5,
+        )
+        from dataclasses import replace
+
+        ring = replace(base, aodv=AodvConfig(expanding_ring=True))
+        assert run_scenario(ring).rreq_tx < run_scenario(base).rreq_tx
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AodvConfig(expanding_ring=True, ttl_start=0)
+        with pytest.raises(ValueError):
+            AodvConfig(expanding_ring=True, ttl_start=9, ttl_threshold=7)
+        with pytest.raises(ValueError):
+            AodvConfig(expanding_ring=True, ttl_threshold=64, rreq_ttl=32)
+
+
+class TestMobilityScenario:
+    def test_rwp_scenario_runs_and_breaks_links(self):
+        config = ScenarioConfig(
+            protocol="aodv", topology="random", n_nodes=16, area_m=(800.0, 800.0), n_flows=3,
+            mobility="rwp", speed_range=(4.0, 10.0),
+            sim_time_s=12.0, warmup_s=2.0, seed=5,
+        )
+        r = run_scenario(config)
+        assert r.packets_sent > 0
+        assert r.pdr > 0.3  # mobility hurts but must not kill the network
+
+    def test_static_vs_mobile_discovery_traffic(self):
+        base = dict(
+            protocol="aodv", topology="random", n_nodes=16, area_m=(800.0, 800.0), n_flows=3,
+            sim_time_s=12.0, warmup_s=2.0, seed=5,
+        )
+        static = run_scenario(ScenarioConfig(mobility="static", **base))
+        mobile = run_scenario(
+            ScenarioConfig(mobility="rwp", speed_range=(6.0, 12.0), **base)
+        )
+        assert mobile.rreq_tx >= static.rreq_tx
+
+    def test_rwp_requires_real_mac(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(mobility="rwp", mac="perfect")
+
+    def test_unknown_mobility_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(mobility="brownian")
+
+    def test_rwp_determinism(self):
+        config = ScenarioConfig(
+            protocol="nlr", topology="random", n_nodes=12, n_flows=2,
+            mobility="rwp", sim_time_s=10.0, warmup_s=2.0, seed=8,
+        )
+        a = run_scenario(config)
+        b = run_scenario(config)
+        assert a.events_executed == b.events_executed
+        assert a.totals == b.totals

@@ -1,0 +1,128 @@
+"""End-to-end integration tests across the full stack (real PHY + MAC).
+
+These validate system-level behaviours the paper's evaluation relies on:
+delivery over multi-hop CSMA paths, congestion collapse at saturation,
+oracle bounds, overhead ordering between suppression schemes, and exact
+replay determinism.
+"""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import ScenarioConfig
+
+
+def cfg(**kw):
+    defaults = dict(
+        protocol="aodv", grid_nx=3, grid_ny=3, n_flows=3,
+        flow_rate_pps=4.0, sim_time_s=12.0, warmup_s=2.0, seed=17,
+    )
+    defaults.update(kw)
+    return ScenarioConfig(**defaults)
+
+
+class TestEndToEnd:
+    def test_light_load_near_perfect_delivery(self):
+        for proto in ("aodv", "gossip", "counter", "nlr", "oracle"):
+            r = run_scenario(cfg(protocol=proto))
+            assert r.pdr > 0.95, f"{proto} lost packets at light load"
+
+    def test_delay_sane_at_light_load(self):
+        r = run_scenario(cfg())
+        assert 0.0005 < r.mean_delay_s < 0.2
+
+    def test_saturation_collapses_aodv(self):
+        light = run_scenario(cfg(flow_rate_pps=5.0, n_flows=4))
+        heavy = run_scenario(
+            cfg(flow_rate_pps=150.0, n_flows=8, flow_pattern="gateway")
+        )
+        assert heavy.pdr < light.pdr
+        assert heavy.pdr < 0.9
+        assert heavy.totals["mac_queue_drops"] > 0
+
+    def test_oracle_minimises_hops(self):
+        oracle = run_scenario(cfg(protocol="oracle", seed=23))
+        aodv = run_scenario(cfg(protocol="aodv", seed=23))
+        assert not math.isnan(oracle.mean_hops)
+        assert oracle.mean_hops <= aodv.mean_hops + 1e-9
+
+    def test_oracle_zero_control_overhead(self):
+        r = run_scenario(cfg(protocol="oracle"))
+        assert r.control_packets == 0
+        assert r.normalized_routing_load == 0.0
+
+    def test_gossip_cuts_rreq_overhead(self):
+        # Larger grid so the flood has room to be suppressed.
+        base = cfg(grid_nx=5, grid_ny=5, n_flows=6, seed=29, gossip_p=0.55)
+        blind = run_scenario(replace(base, protocol="aodv"))
+        gossip = run_scenario(replace(base, protocol="gossip"))
+        assert gossip.rreq_tx < blind.rreq_tx
+
+    def test_hello_overhead_accounted(self):
+        r = run_scenario(cfg())
+        # 9 nodes × ~1 HELLO/s × 12 s ≈ 100 hellos
+        assert r.totals["hello_tx"] > 50
+
+    def test_exact_replay(self):
+        a = run_scenario(cfg(protocol="nlr", seed=31))
+        b = run_scenario(cfg(protocol="nlr", seed=31))
+        assert a.events_executed == b.events_executed
+        assert a.totals == b.totals
+        assert a.per_node_forwarded.tolist() == b.per_node_forwarded.tolist()
+
+    def test_perfect_mac_path(self):
+        r = run_scenario(cfg(mac="perfect"))
+        assert r.pdr > 0.99
+        assert r.totals["mac_retries"] == 0
+
+    def test_poisson_and_onoff_traffic(self):
+        for traffic in ("poisson", "onoff"):
+            r = run_scenario(cfg(traffic=traffic))
+            assert r.packets_sent > 0
+            assert r.pdr > 0.8
+
+    def test_random_topology_end_to_end(self):
+        r = run_scenario(
+            cfg(topology="random", n_nodes=14, seed=37, n_flows=3)
+        )
+        assert r.pdr > 0.8
+
+    def test_shadowing_still_delivers(self):
+        r = run_scenario(cfg(shadowing_sigma_db=3.0, seed=41))
+        assert r.pdr > 0.5  # lossier links, but the mesh still works
+
+    def test_nlr_ablation_variants_run(self):
+        for proto in ("nlr-queue", "nlr-busy", "nlr-own", "nlr-noprob",
+                      "nlr-noselect"):
+            r = run_scenario(cfg(protocol=proto))
+            assert r.pdr > 0.9, proto
+
+
+class TestLoadBalancingShape:
+    """The paper's headline claims, asserted at a discriminating point."""
+
+    POINT = dict(
+        grid_nx=5, grid_ny=5, spacing_m=230.0, n_flows=10,
+        flow_pattern="gateway", n_gateways=2, flow_rate_pps=50.0,
+        sim_time_s=20.0, warmup_s=5.0, seed=50,
+    )
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            proto: run_scenario(ScenarioConfig(protocol=proto, **self.POINT))
+            for proto in ("aodv", "nlr")
+        }
+
+    def test_nlr_delivers_at_least_as_much_as_aodv(self, results):
+        assert results["nlr"].pdr >= results["aodv"].pdr - 0.02
+
+    def test_nlr_spreads_load_more_fairly(self, results):
+        assert results["nlr"].jain_fairness > results["aodv"].jain_fairness
+
+    def test_both_schemes_saturated(self, results):
+        # the point is past the knee: some loss must exist somewhere
+        assert results["aodv"].pdr < 1.0

@@ -1,0 +1,131 @@
+"""Unit tests for the interface queue and busy monitor."""
+
+import pytest
+
+from repro.mac.busy_monitor import BusyMonitor
+from repro.mac.queue import DropTailQueue
+from repro.sim.engine import Simulator
+
+
+class TestDropTailQueue:
+    def test_fifo_order(self):
+        q = DropTailQueue(Simulator(), capacity=5)
+        for x in "abc":
+            assert q.push(x)
+        assert [q.pop(), q.pop(), q.pop()] == list("abc")
+
+    def test_drop_when_full(self):
+        q = DropTailQueue(Simulator(), capacity=2)
+        assert q.push(1) and q.push(2)
+        assert not q.push(3)
+        assert q.dropped == 1
+        assert len(q) == 2
+
+    def test_pop_empty_returns_none(self):
+        q = DropTailQueue(Simulator(), capacity=1)
+        assert q.pop() is None
+
+    def test_peek_does_not_remove(self):
+        q = DropTailQueue(Simulator(), capacity=2)
+        q.push("x")
+        assert q.peek() == "x"
+        assert len(q) == 1
+
+    def test_occupancy_ratio(self):
+        q = DropTailQueue(Simulator(), capacity=4)
+        assert q.occupancy_ratio == 0.0
+        q.push(1)
+        q.push(2)
+        assert q.occupancy_ratio == 0.5
+
+    def test_drop_ratio(self):
+        q = DropTailQueue(Simulator(), capacity=1)
+        q.push(1)
+        q.push(2)
+        q.push(3)
+        assert q.drop_ratio() == pytest.approx(2 / 3)
+        assert DropTailQueue(Simulator(), 1).drop_ratio() == 0.0
+
+    def test_mean_occupancy_time_weighted(self):
+        sim = Simulator()
+        q = DropTailQueue(sim, capacity=10)
+        sim.schedule(0.0, q.push, "a")       # len 1 over [0, 2)
+        sim.schedule(2.0, q.push, "b")       # len 2 over [2, 4)
+        sim.schedule(4.0, q.pop)             # len 1 over [4, 8)
+        sim.run(until=8.0)
+        # integral = 1*2 + 2*2 + 1*4 = 10 over 8 s
+        assert q.mean_occupancy() == pytest.approx(10 / 8)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(Simulator(), capacity=0)
+
+    def test_counters(self):
+        q = DropTailQueue(Simulator(), capacity=2)
+        q.push(1)
+        q.push(2)
+        q.pop()
+        assert (q.enqueued, q.dequeued, q.dropped) == (2, 1, 0)
+
+
+class TestBusyMonitor:
+    def test_initially_idle(self):
+        m = BusyMonitor(Simulator(), window_s=1.0)
+        assert m.busy_ratio() == 0.0
+        assert not m.currently_busy
+
+    def test_full_busy_window(self):
+        sim = Simulator()
+        m = BusyMonitor(sim, window_s=1.0)
+        sim.schedule(0.0, m.on_medium_state, True)
+        sim.run(until=2.0)
+        assert m.busy_ratio() == pytest.approx(1.0)
+
+    def test_half_busy(self):
+        sim = Simulator()
+        m = BusyMonitor(sim, window_s=1.0)
+        sim.schedule(0.0, m.on_medium_state, True)
+        sim.schedule(0.5, m.on_medium_state, False)
+        sim.run(until=1.0)
+        assert m.busy_ratio() == pytest.approx(0.5)
+
+    def test_old_intervals_age_out(self):
+        sim = Simulator()
+        m = BusyMonitor(sim, window_s=1.0)
+        sim.schedule(0.0, m.on_medium_state, True)
+        sim.schedule(0.5, m.on_medium_state, False)
+        sim.run(until=5.0)
+        assert m.busy_ratio() == pytest.approx(0.0)
+
+    def test_repeated_transitions_idempotent(self):
+        sim = Simulator()
+        m = BusyMonitor(sim, window_s=1.0)
+        sim.schedule(0.0, m.on_medium_state, True)
+        sim.schedule(0.1, m.on_medium_state, True)   # repeat
+        sim.schedule(0.5, m.on_medium_state, False)
+        sim.schedule(0.6, m.on_medium_state, False)  # repeat
+        sim.run(until=1.0)
+        assert m.busy_ratio() == pytest.approx(0.5)
+
+    def test_startup_normalisation(self):
+        # At t=0.2 with 0.1 s busy, the observed span is 0.2 s → ratio 0.5,
+        # not 0.1 (which a naive /window would give).
+        sim = Simulator()
+        m = BusyMonitor(sim, window_s=1.0)
+        sim.schedule(0.0, m.on_medium_state, True)
+        sim.schedule(0.1, m.on_medium_state, False)
+        sim.run(until=0.2)
+        assert m.busy_ratio() == pytest.approx(0.5)
+
+    def test_many_short_intervals(self):
+        sim = Simulator()
+        m = BusyMonitor(sim, window_s=1.0)
+        for k in range(10):
+            sim.schedule(k * 0.1, m.on_medium_state, True)
+            sim.schedule(k * 0.1 + 0.05, m.on_medium_state, False)
+        sim.run(until=1.0)
+        assert m.busy_ratio() == pytest.approx(0.5, abs=0.06)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            BusyMonitor(Simulator(), window_s=0.0)

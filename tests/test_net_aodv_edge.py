@@ -1,0 +1,188 @@
+"""Edge-case and error-path tests for the AODV engine."""
+
+import pytest
+
+from repro.net.aodv import AodvConfig, AodvRouting
+from repro.net.packet import Packet, PacketKind, RerrHeader, RreqHeader
+
+from tests.conftest import DIAMOND, chain_adjacency, make_perfect_net
+
+
+def aodv_factory(config=None):
+    def make(node_id, streams):
+        return AodvRouting(
+            config or AodvConfig(), streams.stream(f"routing.{node_id}")
+        )
+
+    return make
+
+
+def start_all(sim, stacks, settle=0.0):
+    for s in stacks:
+        s.start()
+    if settle:
+        sim.run(until=settle)
+
+
+class TestConfigValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            AodvConfig(active_route_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            AodvConfig(rreq_retries=-1)
+        with pytest.raises(ValueError):
+            AodvConfig(rreq_ttl=0)
+        with pytest.raises(ValueError):
+            AodvConfig(dest_reply_wait_s=-0.1)
+
+
+class TestReplyWindow:
+    def test_dest_reply_wait_delays_single_rrep(self):
+        cfg = AodvConfig(dest_reply_wait_s=0.2, intermediate_reply=False,
+                         hello_enabled=False)
+        sim, stacks = make_perfect_net(chain_adjacency(3), aodv_factory(cfg))
+        start_all(sim, stacks)
+        got = []
+        stacks[2].receive_callback = got.append
+        stacks[0].send_data(dst=2, payload_bytes=10)
+        # hop delay 1 ms: the RREQ reaches node 2 at ~2 ms; the reply is
+        # held for the 200 ms window, so nothing arrives before ~202 ms.
+        sim.run(until=0.15)
+        assert got == []
+        sim.run(until=1.0)
+        assert len(got) == 1
+
+    def test_window_answers_once_per_flood(self):
+        cfg = AodvConfig(dest_reply_wait_s=0.05, intermediate_reply=False,
+                         hello_enabled=False)
+        sim, stacks = make_perfect_net(DIAMOND, aodv_factory(cfg))
+        start_all(sim, stacks)
+        stacks[0].send_data(dst=4, payload_bytes=10)
+        sim.run(until=2.0)
+        # both diamond branches delivered RREQ copies, but exactly one RREP
+        # was originated by the destination
+        assert stacks[4].routing.control_tx["rrep"] == 1
+
+
+class TestRerrHandling:
+    def test_rerr_invalidates_matching_routes(self):
+        sim, stacks = make_perfect_net(chain_adjacency(4), aodv_factory())
+        start_all(sim, stacks)
+        stacks[0].send_data(dst=3, payload_bytes=10)
+        sim.run(until=2.0)
+        r0 = stacks[0].routing
+        route = r0.table.lookup(3)
+        assert route is not None and route.next_hop == 1
+        # node 1 reports destination 3 unreachable with a fresher seqno
+        rerr = Packet(
+            kind=PacketKind.RERR, src=1, dst=-1, ttl=1,
+            header=RerrHeader(unreachable=[(3, route.seqno + 1)]),
+        )
+        from repro.phy.frame import RxInfo
+
+        r0.on_packet(rerr, from_node=1, info=RxInfo(1e-9, 1.0, 0.0, 0.0, 1))
+        assert r0.table.lookup(3) is None
+
+    def test_rerr_from_other_neighbour_ignored(self):
+        sim, stacks = make_perfect_net(chain_adjacency(4), aodv_factory())
+        start_all(sim, stacks)
+        stacks[0].send_data(dst=3, payload_bytes=10)
+        sim.run(until=2.0)
+        r0 = stacks[0].routing
+        seq = r0.table.lookup(3).seqno
+        # a RERR arriving from a node that is NOT our next hop to 3
+        rerr = Packet(
+            kind=PacketKind.RERR, src=2, dst=-1, ttl=1,
+            header=RerrHeader(unreachable=[(3, seq + 1)]),
+        )
+        from repro.phy.frame import RxInfo
+
+        r0.on_packet(rerr, from_node=2, info=RxInfo(1e-9, 1.0, 0.0, 0.0, 2))
+        assert r0.table.lookup(3) is not None  # untouched
+
+
+class TestRreqEdgeCases:
+    def test_own_rreq_echo_ignored(self):
+        sim, stacks = make_perfect_net(chain_adjacency(2), aodv_factory())
+        start_all(sim, stacks)
+        r0 = stacks[0].routing
+        header = RreqHeader(rreq_id=1, origin=0, origin_seq=1, dst=9)
+        rreq = Packet(kind=PacketKind.RREQ, src=0, dst=-1, ttl=8, header=header)
+        from repro.phy.frame import RxInfo
+
+        before = r0.rreq_forwarded
+        r0.on_packet(rreq, from_node=1, info=RxInfo(1e-9, 1.0, 0.0, 0.0, 1))
+        sim.run(until=1.0)
+        assert r0.rreq_forwarded == before
+
+    def test_ttl_expired_rreq_not_forwarded(self):
+        sim, stacks = make_perfect_net(chain_adjacency(3), aodv_factory())
+        start_all(sim, stacks)
+        r1 = stacks[1].routing
+        header = RreqHeader(rreq_id=5, origin=0, origin_seq=3, dst=2)
+        rreq = Packet(kind=PacketKind.RREQ, src=0, dst=-1, ttl=1, header=header)
+        from repro.phy.frame import RxInfo
+
+        r1.on_packet(rreq, from_node=0, info=RxInfo(1e-9, 1.0, 0.0, 0.0, 0))
+        sim.run(until=1.0)
+        assert r1.rreq_forwarded == 0
+
+    def test_duplicate_rreq_counted_not_reforwarded(self):
+        sim, stacks = make_perfect_net(chain_adjacency(3), aodv_factory())
+        start_all(sim, stacks)
+        r1 = stacks[1].routing
+        header = RreqHeader(rreq_id=5, origin=0, origin_seq=3, dst=9)
+        from repro.phy.frame import RxInfo
+
+        info = RxInfo(1e-9, 1.0, 0.0, 0.0, 0)
+        for _ in range(3):
+            rreq = Packet(kind=PacketKind.RREQ, src=0, dst=-1, ttl=8,
+                          header=header)
+            r1.on_packet(rreq, from_node=0, info=info)
+        sim.run(until=1.0)
+        assert r1.rreq_forwarded == 1
+
+    def test_buffer_overflow_drops(self):
+        cfg = AodvConfig(buffer_capacity=3, rreq_retries=0, rreq_wait_s=5.0,
+                         hello_enabled=False)
+        adj = {0: [], 1: []}  # no connectivity: discovery can never finish
+        sim, stacks = make_perfect_net(adj, aodv_factory(cfg))
+        start_all(sim, stacks)
+        for k in range(10):
+            stacks[0].send_data(dst=1, payload_bytes=10, seq=k)
+        assert stacks[0].routing.data_dropped_buffer == 7
+
+    def test_data_without_route_generates_rerr(self):
+        sim, stacks = make_perfect_net(chain_adjacency(3), aodv_factory())
+        start_all(sim, stacks)
+        r1 = stacks[1].routing
+        data = Packet(kind=PacketKind.DATA, src=0, dst=9, ttl=8,
+                      payload_bytes=10)
+        from repro.phy.frame import RxInfo
+
+        r1.on_packet(data, from_node=0, info=RxInfo(1e-9, 1.0, 0.0, 0.0, 0))
+        sim.run(until=0.5)
+        assert r1.data_dropped_no_route == 1
+        assert r1.control_tx["rerr"] == 1
+
+    def test_data_ttl_exhaustion_counted(self):
+        sim, stacks = make_perfect_net(chain_adjacency(3), aodv_factory())
+        start_all(sim, stacks)
+        r1 = stacks[1].routing
+        data = Packet(kind=PacketKind.DATA, src=0, dst=2, ttl=1,
+                      payload_bytes=10)
+        from repro.phy.frame import RxInfo
+
+        r1.on_packet(data, from_node=0, info=RxInfo(1e-9, 1.0, 0.0, 0.0, 0))
+        assert r1.data_dropped_ttl == 1
+
+
+class TestStopCleanup:
+    def test_stop_cancels_pending_discoveries(self):
+        adj = {0: [], 1: []}
+        sim, stacks = make_perfect_net(adj, aodv_factory())
+        start_all(sim, stacks)
+        stacks[0].send_data(dst=1, payload_bytes=10)
+        stacks[0].stop()
+        sim.run(until=20.0)  # no retry timers must fire after stop
+        assert stacks[0].routing.control_tx["rreq"] == 1

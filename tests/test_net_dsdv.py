@@ -1,0 +1,147 @@
+"""Tests for the DSDV proactive baseline."""
+
+import pytest
+
+from repro.net.dsdv import DsdvConfig, DsdvHeader, DsdvRouting, INFINITE_METRIC
+
+from tests.conftest import chain_adjacency, make_perfect_net, DIAMOND
+
+
+def dsdv_factory(config=None):
+    def make(node_id, streams):
+        return DsdvRouting(
+            config or DsdvConfig(update_interval_s=0.5, route_lifetime_s=2.0),
+            streams.stream(f"routing.{node_id}"),
+        )
+
+    return make
+
+
+def converged_net(adjacency, settle_s=2.5, seed=1, config=None):
+    sim, stacks = make_perfect_net(adjacency, dsdv_factory(config), seed=seed)
+    for s in stacks:
+        s.start()
+    sim.run(until=settle_s)
+    return sim, stacks
+
+
+class TestConvergence:
+    def test_tables_converge_on_chain(self):
+        sim, stacks = converged_net(chain_adjacency(5))
+        # every node knows every other node
+        for s in stacks:
+            assert s.routing.table_size() == 4
+
+    def test_metrics_are_hop_counts(self):
+        sim, stacks = converged_net(chain_adjacency(5))
+        r0 = stacks[0].routing
+        for dst in range(1, 5):
+            assert r0.route_to(dst).metric == dst
+
+    def test_next_hops_follow_chain(self):
+        sim, stacks = converged_net(chain_adjacency(4))
+        assert stacks[0].routing.route_to(3).next_hop == 1
+        assert stacks[3].routing.route_to(0).next_hop == 2
+
+    def test_diamond_prefers_shorter_branch(self):
+        sim, stacks = converged_net(DIAMOND)
+        # 0's route to 4: via 1 (2 hops) not via 2 (3 hops)
+        assert stacks[0].routing.route_to(4).metric == 2
+
+
+class TestDataPlane:
+    def test_end_to_end_delivery(self):
+        sim, stacks = converged_net(chain_adjacency(5))
+        got = []
+        stacks[4].receive_callback = got.append
+        stacks[0].send_data(dst=4, payload_bytes=64, seq=0)
+        sim.run(until=4.0)
+        assert len(got) == 1
+        assert got[0].hops == 4
+
+    def test_no_route_before_convergence(self):
+        sim, stacks = make_perfect_net(chain_adjacency(4), dsdv_factory())
+        # nodes never started → no updates → no routes
+        stacks[0].send_data(dst=3, payload_bytes=64)
+        sim.run(until=1.0)
+        assert stacks[0].routing.data_dropped_no_route == 1
+
+    def test_loopback(self):
+        sim, stacks = converged_net(chain_adjacency(2))
+        got = []
+        stacks[0].receive_callback = got.append
+        stacks[0].send_data(dst=0, payload_bytes=8)
+        sim.run(until=3.0)
+        assert len(got) == 1
+
+
+class TestSequenceNumbersAndBreaks:
+    def test_own_seqno_stays_even(self):
+        sim, stacks = converged_net(chain_adjacency(3))
+        assert stacks[0].routing.seqno % 2 == 0
+
+    def test_link_break_poisons_routes(self):
+        adj = chain_adjacency(4)
+        sim, stacks = converged_net(adj)
+        got = []
+        stacks[3].receive_callback = got.append
+        # sever 1-2 (PerfectMac reads adjacency live)
+        adj[1] = [0]
+        adj[2] = [3]
+        stacks[0].send_data(dst=3, payload_bytes=8, seq=1)
+        sim.run(until=4.0)
+        # node 1 detected the failure and invalidated its route via 2
+        r1 = stacks[1].routing
+        e = r1._routes.get(3)
+        assert e is None or e.metric >= INFINITE_METRIC or e.next_hop != 2
+
+    def test_triggered_update_on_break(self):
+        adj = chain_adjacency(3)
+        cfg = DsdvConfig(update_interval_s=5.0, route_lifetime_s=20.0,
+                         triggered_updates=True)
+        sim, stacks = make_perfect_net(adj, dsdv_factory(cfg))
+        for s in stacks:
+            s.start()
+        sim.run(until=1.0)
+        adj[1] = [0]
+        adj[2] = []
+        stacks[1].send_data(dst=2, payload_bytes=8)
+        sim.run(until=3.0)
+        assert stacks[1].routing.triggered_tx >= 1
+
+
+class TestOverheadAccounting:
+    def test_updates_counted_as_control(self):
+        sim, stacks = converged_net(chain_adjacency(3), settle_s=3.0)
+        r = stacks[0].routing
+        assert r.updates_tx >= 5
+        assert r.control_tx["hello"] == r.updates_tx
+        assert r.control_bytes_tx > 0
+
+    def test_header_size_scales(self):
+        h = DsdvHeader(entries=[(1, 2, 4), (2, 1, 6)])
+        assert h.size_bytes() == 12 + 16
+
+
+class TestConfigValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            DsdvConfig(update_interval_s=0.0)
+        with pytest.raises(ValueError):
+            DsdvConfig(update_interval_s=5.0, route_lifetime_s=1.0)
+
+
+class TestScenarioIntegration:
+    def test_dsdv_scenario_end_to_end(self):
+        from repro.experiments.runner import run_scenario
+        from repro.experiments.scenario import ScenarioConfig
+
+        r = run_scenario(
+            ScenarioConfig(
+                protocol="dsdv", grid_nx=3, grid_ny=3, n_flows=2,
+                sim_time_s=15.0, warmup_s=6.0, seed=3,
+            )
+        )
+        assert r.pdr > 0.9
+        # proactive: control traffic flows even with two tiny flows
+        assert r.totals["hello_tx"] > 9 * 2

@@ -1,0 +1,116 @@
+"""Unit tests for HELLO/neighbour tables and rebroadcast policies."""
+
+import numpy as np
+import pytest
+
+from repro.net.gossip import (
+    BlindFlooding,
+    CounterBasedPolicy,
+    FixedProbabilityGossip,
+    PolicyContext,
+)
+from repro.net.hello import NeighbourTable
+from repro.sim.engine import Simulator
+
+
+def ctx(hop=3, neighbours=5, load=0.0, dups=0):
+    return PolicyContext(
+        node_id=1, hop_count=hop, neighbour_count=neighbours,
+        neighbourhood_load=load, duplicates_seen=dups,
+    )
+
+
+class TestNeighbourTable:
+    def test_heard_registers(self):
+        t = NeighbourTable(Simulator())
+        t.heard(3, load=0.5, neighbour_count=4)
+        n = t.get(3)
+        assert n is not None and n.load == 0.5 and n.neighbour_count == 4
+
+    def test_staleness_expiry(self):
+        sim = Simulator()
+        t = NeighbourTable(sim, lifetime_s=1.0)
+        t.heard(3)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert 3 not in t
+        assert len(t) == 0
+
+    def test_reheard_refreshes(self):
+        sim = Simulator()
+        t = NeighbourTable(sim, lifetime_s=1.0)
+        t.heard(3)
+        sim.schedule(0.8, t.heard, 3)
+        sim.schedule(1.5, lambda: None)
+        sim.run()
+        assert 3 in t
+
+    def test_heard_without_load_keeps_previous(self):
+        t = NeighbourTable(Simulator())
+        t.heard(3, load=0.7)
+        t.heard(3)  # data packet, no load info
+        assert t.get(3).load == 0.7
+
+    def test_mean_advertised_load(self):
+        t = NeighbourTable(Simulator())
+        assert t.mean_advertised_load() == 0.0
+        t.heard(1, load=0.2)
+        t.heard(2, load=0.6)
+        assert t.mean_advertised_load() == pytest.approx(0.4)
+
+    def test_invalid_lifetime(self):
+        with pytest.raises(ValueError):
+            NeighbourTable(Simulator(), lifetime_s=0.0)
+
+
+class TestBlindFlooding:
+    def test_always_forwards(self):
+        p = BlindFlooding()
+        for hop in (0, 5, 30):
+            assert p.decide(ctx(hop=hop)).forward
+
+
+class TestFixedGossip:
+    def test_probability_respected_statistically(self):
+        rng = np.random.default_rng(1)
+        p = FixedProbabilityGossip(0.3, rng, always_first_hops=0)
+        n = 5000
+        forwards = sum(p.decide(ctx()).forward for _ in range(n))
+        assert forwards / n == pytest.approx(0.3, abs=0.03)
+
+    def test_first_hops_always_forward(self):
+        rng = np.random.default_rng(1)
+        p = FixedProbabilityGossip(0.01, rng, always_first_hops=2)
+        assert all(p.decide(ctx(hop=h)).forward for h in (0, 1) for _ in range(50))
+
+    def test_p_one_always_forwards(self):
+        rng = np.random.default_rng(1)
+        p = FixedProbabilityGossip(1.0, rng)
+        assert all(p.decide(ctx()).forward for _ in range(100))
+
+    def test_invalid_p(self):
+        rng = np.random.default_rng(1)
+        for bad in (0.0, 1.1, -0.5):
+            with pytest.raises(ValueError):
+                FixedProbabilityGossip(bad, rng)
+
+
+class TestCounterBased:
+    def test_initial_decision_defers(self):
+        p = CounterBasedPolicy(3, np.random.default_rng(2), rad_max_s=0.01)
+        d = p.decide(ctx())
+        assert d.forward
+        assert 0.0 <= d.assessment_delay_s <= 0.01
+
+    def test_suppresses_at_threshold(self):
+        p = CounterBasedPolicy(3, np.random.default_rng(2))
+        assert p.decide_deferred(ctx(dups=2))
+        assert not p.decide_deferred(ctx(dups=3))
+        assert not p.decide_deferred(ctx(dups=10))
+
+    def test_invalid_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            CounterBasedPolicy(0, rng)
+        with pytest.raises(ValueError):
+            CounterBasedPolicy(3, rng, rad_max_s=0.0)

@@ -1,0 +1,84 @@
+"""Unit tests for routing-table machinery."""
+
+from repro.net.routing_base import RouteEntry, RoutingTable
+from repro.sim.engine import Simulator
+
+
+def entry(dst=5, next_hop=2, hops=3, seqno=1, cost=3.0, expiry=10.0, **kw):
+    return RouteEntry(
+        dst=dst, next_hop=next_hop, hop_count=hops, seqno=seqno,
+        cost=cost, expiry=expiry, **kw
+    )
+
+
+class TestRoutingTable:
+    def test_lookup_valid_route(self):
+        t = RoutingTable(Simulator())
+        t.upsert(entry())
+        e = t.lookup(5)
+        assert e is not None and e.next_hop == 2
+
+    def test_lookup_missing(self):
+        assert RoutingTable(Simulator()).lookup(9) is None
+
+    def test_expiry_invalidates(self):
+        sim = Simulator()
+        t = RoutingTable(sim)
+        t.upsert(entry(expiry=1.0))
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert t.lookup(5) is None
+        assert t.get_any(5) is not None  # seqno memory survives
+
+    def test_invalidate(self):
+        t = RoutingTable(Simulator())
+        t.upsert(entry())
+        assert t.invalidate(5) is not None
+        assert t.lookup(5) is None
+        assert t.invalidate(5) is None  # second time: nothing to do
+
+    def test_upsert_preserves_precursors(self):
+        t = RoutingTable(Simulator())
+        first = entry()
+        first.precursors.add(7)
+        t.upsert(first)
+        t.upsert(entry(next_hop=3))
+        assert 7 in t.lookup(5).precursors
+
+    def test_routes_via(self):
+        t = RoutingTable(Simulator())
+        t.upsert(entry(dst=5, next_hop=2))
+        t.upsert(entry(dst=6, next_hop=2))
+        t.upsert(entry(dst=7, next_hop=3))
+        assert {e.dst for e in t.routes_via(2)} == {5, 6}
+
+    def test_refresh_extends_expiry(self):
+        sim = Simulator()
+        t = RoutingTable(sim)
+        t.upsert(entry(expiry=1.0))
+        t.refresh(5, lifetime_s=10.0)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert t.lookup(5) is not None
+
+    def test_refresh_never_shortens(self):
+        t = RoutingTable(Simulator())
+        t.upsert(entry(expiry=100.0))
+        t.refresh(5, lifetime_s=1.0)
+        assert t.get_any(5).expiry == 100.0
+
+    def test_contains_and_len(self):
+        t = RoutingTable(Simulator())
+        t.upsert(entry())
+        assert 5 in t
+        assert 9 not in t
+        assert len(t) == 1
+
+    def test_valid_count(self):
+        sim = Simulator()
+        t = RoutingTable(sim)
+        t.upsert(entry(dst=5, expiry=1.0))
+        t.upsert(entry(dst=6, expiry=100.0))
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert t.valid_count() == 1

@@ -1,0 +1,126 @@
+"""Tests for oracle routing and the node stack plumbing."""
+
+import networkx as nx
+import pytest
+
+from repro.net.static_routing import RouteOracle, StaticRouting
+
+from tests.conftest import chain_adjacency, make_perfect_net
+
+
+def oracle_factory(graph):
+    oracle = RouteOracle(graph)
+
+    def make(node_id, streams):
+        return StaticRouting(oracle)
+
+    return make, oracle
+
+
+def chain_graph(n):
+    g = nx.Graph()
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+class TestRouteOracle:
+    def test_next_hops_follow_shortest_path(self):
+        g = chain_graph(5)
+        oracle = RouteOracle(g)
+        assert oracle.next_hop(0, 4) == 1
+        assert oracle.next_hop(3, 0) == 2
+
+    def test_unreachable_is_none(self):
+        g = chain_graph(3)
+        g.add_node(9)
+        oracle = RouteOracle(g)
+        assert oracle.next_hop(0, 9) is None
+        assert oracle.hop_count(0, 9) is None
+
+    def test_hop_count(self):
+        oracle = RouteOracle(chain_graph(5))
+        assert oracle.hop_count(0, 4) == 4
+
+    def test_weighted_paths(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=10.0)
+        g.add_edge(0, 2, weight=1.0)
+        g.add_edge(2, 1, weight=1.0)
+        oracle = RouteOracle(g)
+        assert oracle.next_hop(0, 1) == 2  # cheaper two-hop path
+
+
+class TestStaticRouting:
+    def test_end_to_end(self):
+        n = 5
+        factory, _ = oracle_factory(chain_graph(n))
+        sim, stacks = make_perfect_net(chain_adjacency(n), factory)
+        got = []
+        stacks[4].receive_callback = got.append
+        stacks[0].send_data(dst=4, payload_bytes=64, seq=0)
+        sim.run(until=2.0)
+        assert len(got) == 1
+        assert got[0].hops == 4
+
+    def test_zero_control_overhead(self):
+        factory, _ = oracle_factory(chain_graph(4))
+        sim, stacks = make_perfect_net(chain_adjacency(4), factory)
+        stacks[0].send_data(dst=3, payload_bytes=64)
+        sim.run(until=2.0)
+        assert all(
+            sum(s.routing.control_tx.values()) == 0 for s in stacks
+        )
+
+    def test_unreachable_counts_drop(self):
+        g = chain_graph(3)
+        g.add_node(3)
+        factory, _ = oracle_factory(g)
+        adj = chain_adjacency(3)
+        adj[3] = []
+        sim, stacks = make_perfect_net(adj, factory)
+        stacks[0].send_data(dst=3, payload_bytes=64)
+        sim.run(until=2.0)
+        assert stacks[0].routing.data_dropped_no_route == 1
+
+    def test_ttl_exhaustion(self):
+        factory, _ = oracle_factory(chain_graph(6))
+        sim, stacks = make_perfect_net(chain_adjacency(6), factory)
+        got = []
+        stacks[5].receive_callback = got.append
+        stacks[0].send_data(dst=5, payload_bytes=64, ttl=3)
+        sim.run(until=2.0)
+        assert got == []
+        assert sum(s.routing.data_dropped_ttl for s in stacks) == 1
+
+
+class TestNodeStack:
+    def test_counters(self):
+        factory, _ = oracle_factory(chain_graph(3))
+        sim, stacks = make_perfect_net(chain_adjacency(3), factory)
+        stacks[0].send_data(dst=2, payload_bytes=64)
+        sim.run(until=2.0)
+        assert stacks[0].packets_sent == 1
+        assert stacks[2].packets_received == 1
+
+    def test_cross_layer_passthrough(self):
+        factory, _ = oracle_factory(chain_graph(2))
+        sim, stacks = make_perfect_net(chain_adjacency(2), factory)
+        assert stacks[0].queue_occupancy == 0.0
+        assert stacks[0].channel_busy_ratio() == 0.0
+
+    def test_control_bytes_accounted_on_stack(self):
+        from repro.net.aodv import AodvConfig, AodvRouting
+
+        def aodv(node_id, streams):
+            return AodvRouting(
+                AodvConfig(hello_enabled=False), streams.stream(f"r{node_id}")
+            )
+
+        sim, stacks = make_perfect_net(chain_adjacency(3), aodv)
+        for s in stacks:
+            s.start()
+        stacks[0].send_data(dst=2, payload_bytes=64)
+        sim.run(until=2.0)
+        # one RREQ (24 B) from the origin at minimum
+        assert stacks[0].routing.control_bytes_tx >= 24

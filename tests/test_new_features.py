@@ -1,0 +1,195 @@
+"""Tests for gratuitous RREP, delay percentiles/jitter, config round-trip."""
+
+import math
+
+import pytest
+
+from repro.net.aodv import AodvConfig, AodvRouting
+
+from tests.conftest import chain_adjacency, make_perfect_net
+
+
+# ---------------------------------------------------------------------- #
+# Gratuitous RREP (RFC 3561 §6.6.3)
+# ---------------------------------------------------------------------- #
+class TestGratuitousRrep:
+    def _primed_chain(self, gratuitous: bool):
+        cfg = AodvConfig(
+            intermediate_reply=True, gratuitous_rrep=gratuitous,
+            hello_enabled=False,
+        )
+        sim, stacks = make_perfect_net(
+            chain_adjacency(5),
+            lambda nid, s: AodvRouting(cfg, s.stream(f"r{nid}")),
+        )
+        for s in stacks:
+            s.start()
+        # Prime a route 2→4 so node 2 can answer intermediately.
+        stacks[2].send_data(dst=4, payload_bytes=10)
+        sim.run(until=2.0)
+        # Node 0 discovers 4; node 2 answers from its table.
+        stacks[0].send_data(dst=4, payload_bytes=10)
+        sim.run(until=4.0)
+        return sim, stacks
+
+    def test_destination_learns_origin_route(self):
+        sim, stacks = self._primed_chain(gratuitous=True)
+        # Destination 4 now has a route back to originator 0 without any
+        # discovery of its own.
+        route = stacks[4].routing.table.lookup(0)
+        assert route is not None
+        assert route.next_hop == 3
+
+    def test_destination_can_reply_without_discovery(self):
+        sim, stacks = self._primed_chain(gratuitous=True)
+        rreq_before = stacks[4].routing.control_tx["rreq"]
+        got = []
+        stacks[0].receive_callback = got.append
+        stacks[4].send_data(dst=0, payload_bytes=10, seq=77)
+        sim.run(until=6.0)
+        assert [p.seq for p in got] == [77]
+        assert stacks[4].routing.control_tx["rreq"] == rreq_before
+
+    def test_disabled_by_default_no_route_at_destination(self):
+        sim, stacks = self._primed_chain(gratuitous=False)
+        assert stacks[4].routing.table.lookup(0) is None
+
+
+# ---------------------------------------------------------------------- #
+# Delay percentiles and jitter
+# ---------------------------------------------------------------------- #
+class TestDelayTailMetrics:
+    def _collector(self, delays):
+        from repro.metrics.flowstats import FlowStatsCollector
+        from repro.net.packet import Packet, PacketKind
+
+        c = FlowStatsCollector()
+        for k, d in enumerate(delays):
+            p = Packet(kind=PacketKind.DATA, src=0, dst=1, ttl=8,
+                       payload_bytes=100, flow_id=0, seq=k, created_at=1.0)
+            c.on_send(p)
+            c.on_receive(p, now=1.0 + d)
+        return c
+
+    def test_percentiles(self):
+        c = self._collector([0.01 * k for k in range(1, 101)])
+        rec = c.flows[0]
+        assert rec.delay_percentile_s(50) == pytest.approx(0.505, abs=0.01)
+        assert rec.delay_percentile_s(95) == pytest.approx(0.95, abs=0.011)
+        assert rec.delay_percentile_s(100) == pytest.approx(1.0)
+        assert c.delay_percentile_s(95) == rec.delay_percentile_s(95)
+
+    def test_tail_exceeds_mean_for_skewed_delays(self):
+        c = self._collector([0.01] * 95 + [1.0] * 5)
+        rec = c.flows[0]
+        assert rec.delay_percentile_s(99) > 10 * rec.mean_delay_s
+
+    def test_jitter(self):
+        c = self._collector([0.1, 0.3, 0.1, 0.3])
+        assert c.flows[0].jitter_s == pytest.approx(0.2)
+        steady = self._collector([0.25] * 10)
+        assert steady.flows[0].jitter_s == pytest.approx(0.0)
+
+    def test_empty_and_validation(self):
+        c = self._collector([])
+        assert math.isnan(c.delay_percentile_s(95))
+        c2 = self._collector([0.1])
+        assert math.isnan(c2.flows[0].jitter_s)
+        with pytest.raises(ValueError):
+            c2.flows[0].delay_percentile_s(120)
+
+
+# ---------------------------------------------------------------------- #
+# Config serialisation round-trip
+# ---------------------------------------------------------------------- #
+class TestConfigSerialization:
+    def _config(self):
+        from repro.core.nlr import NlrConfig
+        from repro.experiments.scenario import ScenarioConfig
+        from repro.mac.csma import MacConfig
+
+        return ScenarioConfig(
+            protocol="nlr", grid_nx=4, grid_ny=6, spacing_m=210.0,
+            n_flows=7, flow_rate_pps=33.0, seed=99,
+            mac_config=MacConfig(rts_cts_enabled=True, queue_capacity=80),
+            nlr=NlrConfig(hop_weight=0.5, gamma=0.8),
+            mobility="rwp", speed_range=(2.0, 7.0),
+        )
+
+    def test_roundtrip_preserves_everything(self):
+        from repro.experiments.serialization import (
+            config_from_dict,
+            config_to_dict,
+        )
+
+        original = self._config()
+        rebuilt = config_from_dict(config_to_dict(original))
+        assert rebuilt == original
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.experiments.serialization import load_config, save_config
+
+        original = self._config()
+        path = save_config(original, tmp_path / "scenario.json")
+        assert load_config(path) == original
+
+    def test_unknown_keys_rejected(self):
+        from repro.experiments.serialization import (
+            config_from_dict,
+            config_to_dict,
+        )
+
+        data = config_to_dict(self._config())
+        data["warp_drive"] = True
+        with pytest.raises(ValueError, match="warp_drive"):
+            config_from_dict(data)
+
+    def test_nested_unknown_keys_rejected(self):
+        from repro.experiments.serialization import (
+            config_from_dict,
+            config_to_dict,
+        )
+
+        data = config_to_dict(self._config())
+        data["nlr"]["aodv"]["flux"] = 1
+        with pytest.raises(ValueError, match="flux"):
+            config_from_dict(data)
+
+    def test_cli_config_roundtrip(self, tmp_path, capsys):
+        from repro.__main__ import main
+        from repro.experiments.serialization import load_config, save_config
+        from repro.experiments.scenario import ScenarioConfig
+
+        cfg = ScenarioConfig(
+            protocol="oracle", grid_nx=3, grid_ny=3, n_flows=2,
+            flow_rate_pps=5.0, sim_time_s=6.0, warmup_s=1.0, seed=3,
+        )
+        path = save_config(cfg, tmp_path / "s.json")
+        rc = main(["--config", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "oracle on 9 nodes, seed 3" in out
+
+    def test_cli_save_config(self, tmp_path, capsys):
+        from repro.__main__ import main
+        from repro.experiments.serialization import load_config
+
+        target = tmp_path / "saved.json"
+        rc = main([
+            "--protocol", "aodv", "--grid", "3x3", "--flows", "2",
+            "--rate", "5", "--time", "6", "--warmup", "1",
+            "--save-config", str(target),
+        ])
+        assert rc == 0
+        cfg = load_config(target)
+        assert cfg.protocol == "aodv"
+        assert cfg.node_count == 9
+
+    def test_cli_bad_config_errors(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"protocol": "quantum"}')
+        rc = main(["--config", str(bad)])
+        assert rc == 2
+        assert "cannot load" in capsys.readouterr().err

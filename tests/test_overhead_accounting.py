@@ -1,0 +1,92 @@
+"""Tests that control-overhead byte accounting is honest per scheme.
+
+The NLR contribution adds a 4-byte load field to RREQ and HELLO; these
+tests pin down that the accounting actually charges it (so overhead
+figures cannot silently flatter the contribution).
+"""
+
+import pytest
+
+from repro.core.nlr import NlrConfig, NlrRouting
+from repro.net.aodv import AodvConfig, AodvRouting
+from repro.net.packet import HelloHeader, Packet, PacketKind, RreqHeader
+
+from tests.conftest import chain_adjacency, make_perfect_net
+
+
+def build(protocol_factory):
+    sim, stacks = make_perfect_net(chain_adjacency(3), protocol_factory)
+    for s in stacks:
+        s.start()
+    return sim, stacks
+
+
+def aodv(node_id, streams):
+    return AodvRouting(
+        AodvConfig(hello_enabled=False), streams.stream(f"r{node_id}")
+    )
+
+
+def nlr(node_id, streams):
+    cfg = NlrConfig()
+    cfg.aodv.hello_enabled = False
+    return NlrRouting(cfg, streams.stream(f"r{node_id}"))
+
+
+class TestLoadExtensionBytes:
+    def test_aodv_rreq_is_24_bytes(self):
+        sim, stacks = build(aodv)
+        stacks[0].send_data(dst=2, payload_bytes=10)
+        sim.run(until=0.01)  # only the origination has happened
+        assert stacks[0].routing.control_bytes_tx == 24
+
+    def test_nlr_rreq_is_28_bytes(self):
+        sim, stacks = build(nlr)
+        stacks[0].send_data(dst=2, payload_bytes=10)
+        sim.run(until=0.01)
+        assert stacks[0].routing.control_bytes_tx == 28
+
+    def test_hello_extension_charged(self):
+        def nlr_hello(node_id, streams):
+            cfg = NlrConfig()
+            cfg.aodv.hello_interval_s = 0.5
+            return NlrRouting(cfg, streams.stream(f"r{node_id}"))
+
+        sim, stacks = make_perfect_net(chain_adjacency(2), nlr_hello)
+        for s in stacks:
+            s.start()
+        sim.run(until=2.0)
+        r = stacks[0].routing
+        hello_count = r.control_tx["hello"]
+        assert hello_count >= 2
+        # every control byte so far is HELLO at 24 B (20 + 4 extension)
+        assert r.control_bytes_tx == hello_count * 24
+
+    def test_wire_bytes_header_dispatch(self):
+        rreq = Packet(
+            kind=PacketKind.RREQ, src=0, dst=-1, ttl=8,
+            header=RreqHeader(rreq_id=1, origin=0, origin_seq=1, dst=5),
+        )
+        hello = Packet(
+            kind=PacketKind.HELLO, src=0, dst=-1, ttl=1, header=HelloHeader()
+        )
+        assert rreq.wire_bytes(False) == 24
+        assert rreq.wire_bytes(True) == 28
+        assert hello.wire_bytes(False) == 20
+        assert hello.wire_bytes(True) == 24
+
+
+class TestRrepEchoesCost:
+    def test_rrep_carries_path_load(self):
+        sim, stacks = build(nlr)
+        # pin some load on the middle node so path_load is visible
+        from tests.test_core_nlr import FakeLoadSource
+
+        stacks[1].routing.bus.source = FakeLoadSource(queue=0.8)
+        for _ in range(10):
+            stacks[1].routing.bus.sample_now()
+        stacks[0].send_data(dst=2, payload_bytes=10)
+        sim.run(until=2.0)
+        route = stacks[0].routing.table.lookup(2)
+        assert route is not None
+        assert route.cost > 0.0

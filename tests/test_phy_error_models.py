@@ -1,0 +1,101 @@
+"""Unit tests for SINR error models."""
+
+import pytest
+
+from repro.phy.error_models import (
+    Dsss11ErrorModel,
+    PskErrorModel,
+    SinrThresholdErrorModel,
+    q_function,
+)
+
+
+class TestQFunction:
+    def test_known_values(self):
+        assert q_function(0.0) == pytest.approx(0.5)
+        assert q_function(1.0) == pytest.approx(0.158655, rel=1e-4)
+        assert q_function(3.0) == pytest.approx(0.001349, rel=1e-3)
+
+    def test_monotone_decreasing(self):
+        xs = [0.0, 0.5, 1.0, 2.0, 4.0]
+        qs = [q_function(x) for x in xs]
+        assert all(a > b for a, b in zip(qs, qs[1:]))
+
+
+class TestThresholdModel:
+    def test_above_threshold_succeeds(self):
+        m = SinrThresholdErrorModel(threshold_db=10.0)
+        assert m.segment_success_probability(10.0 ** (10.1 / 10), 1000) == 1.0
+
+    def test_below_threshold_fails(self):
+        m = SinrThresholdErrorModel(threshold_db=10.0)
+        assert m.segment_success_probability(10.0 ** (9.9 / 10), 1000) == 0.0
+
+    def test_frame_probability_is_product(self):
+        m = SinrThresholdErrorModel(threshold_db=10.0)
+        good, bad = 20.0, 1.0
+        assert m.frame_success_probability([(good, 100), (good, 100)]) == 1.0
+        assert m.frame_success_probability([(good, 100), (bad, 1)]) == 0.0
+
+    def test_zero_bit_segments_ignored(self):
+        m = SinrThresholdErrorModel()
+        assert m.frame_success_probability([(0.1, 0)]) == 1.0
+
+
+class TestPsk:
+    def test_bpsk_ber_at_known_snr(self):
+        m = PskErrorModel(1)
+        # BPSK at Eb/N0 ~ 9.6 dB gives BER ≈ 1e-5 (textbook point)
+        ber = m.bit_error_rate(10 ** (9.6 / 10))
+        assert ber == pytest.approx(1e-5, rel=0.3)
+
+    def test_ber_decreasing_in_sinr(self):
+        m = PskErrorModel(2)
+        bers = [m.bit_error_rate(s) for s in [0.1, 1.0, 5.0, 20.0]]
+        assert all(a > b for a, b in zip(bers, bers[1:]))
+
+    def test_zero_sinr_is_coinflip(self):
+        assert PskErrorModel(1).bit_error_rate(0.0) == 0.5
+
+    def test_success_probability_falls_with_length(self):
+        m = PskErrorModel(1)
+        p_short = m.segment_success_probability(2.0, 100)
+        p_long = m.segment_success_probability(2.0, 10_000)
+        assert p_short > p_long
+
+    def test_higher_order_worse_at_same_sinr(self):
+        bpsk = PskErrorModel(1).bit_error_rate(5.0)
+        psk8 = PskErrorModel(3).bit_error_rate(5.0)
+        assert psk8 > bpsk
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            PskErrorModel(0)
+
+
+class TestDsss:
+    def test_rates_accepted(self):
+        for rate in (1e6, 2e6, 5.5e6, 11e6):
+            Dsss11ErrorModel(rate)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Dsss11ErrorModel(54e6)
+
+    def test_lower_rate_more_robust(self):
+        sinr = 0.5
+        bers = [
+            Dsss11ErrorModel(r).bit_error_rate(sinr)
+            for r in (1e6, 2e6, 5.5e6, 11e6)
+        ]
+        assert all(a < b for a, b in zip(bers, bers[1:]))
+
+    def test_high_sinr_reliable_frame(self):
+        m = Dsss11ErrorModel(11e6)
+        # CCK at 10 dB is usable but not error-free over 1500 B ...
+        assert m.segment_success_probability(10 ** (10 / 10), 8 * 1500) > 0.9
+        # ... and essentially perfect by 14 dB.
+        assert m.segment_success_probability(10 ** (14 / 10), 8 * 1500) > 0.999
+
+    def test_negative_sinr_coinflip(self):
+        assert Dsss11ErrorModel(2e6).bit_error_rate(-1.0) == 0.5

@@ -1,0 +1,73 @@
+"""Property-based fuzzing of the ASCII chart and topology renderers."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.asciichart import GLYPHS, line_chart
+from repro.topology.render import render_topology
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+@given(
+    xs=st.lists(finite_floats, min_size=1, max_size=30),
+    n_series=st.integers(min_value=1, max_value=4),
+    width=st.integers(min_value=10, max_value=80),
+    height=st.integers(min_value=4, max_value=25),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_line_chart_never_crashes_and_bounds_output(
+    xs, n_series, width, height, data
+):
+    series = {
+        f"s{i}": data.draw(
+            st.lists(finite_floats, min_size=len(xs), max_size=len(xs))
+        )
+        for i in range(n_series)
+    }
+    out = line_chart(xs, series, width=width, height=height)
+    lines = out.splitlines()
+    # plot rows + axis + x labels + legend
+    assert len(lines) == height + 3
+    # no plot row exceeds margin + frame + width
+    body = [ln for ln in lines if "|" in ln]
+    assert len(body) == height
+    for ln in body:
+        after_bar = ln.split("|", 1)[1]
+        assert len(after_bar) <= width
+    # every series appears in the legend
+    for i in range(n_series):
+        assert f"s{i}" in lines[-1]
+    # only known glyphs are plotted
+    plotted = {c for ln in body for c in ln.split("|", 1)[1]} - {" "}
+    assert plotted <= set(GLYPHS)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    width=st.integers(min_value=8, max_value=60),
+    height=st.integers(min_value=4, max_value=30),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_render_topology_never_crashes(n, width, height, seed):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, 1000, size=(n, 2))
+    gateways = list(range(0, n, 7))
+    out = render_topology(pos, gateways=gateways, width=width, height=height)
+    lines = out.splitlines()
+    assert lines[0] == "+" + "-" * width + "+"
+    # interior rows framed and width-bounded
+    for ln in lines[1:height + 1]:
+        assert ln.startswith("|") and ln.endswith("|")
+        assert len(ln) == width + 2
+    # every node glyph is within the map (count of non-space glyphs ≤ n)
+    glyphs = sum(
+        1 for ln in lines[1:height + 1] for c in ln[1:-1] if c != " "
+    )
+    assert 1 <= glyphs <= n

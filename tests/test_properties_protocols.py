@@ -1,0 +1,103 @@
+"""Property-based protocol tests against networkx ground truth."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.aodv import AodvConfig, AodvRouting
+from repro.net.dsdv import DsdvConfig, DsdvRouting
+
+from tests.conftest import make_perfect_net
+
+
+def random_connected_adjacency(n: int, extra_edges: int, seed: int):
+    """A random connected graph as an adjacency dict (tree + extra edges)."""
+    g = nx.random_labeled_tree(n, seed=seed)
+    rng_edges = list(nx.non_edges(g))
+    rng_edges.sort()
+    for k in range(min(extra_edges, len(rng_edges))):
+        g.add_edge(*rng_edges[(k * 7919) % len(rng_edges)])
+    return {i: sorted(g.neighbors(i)) for i in g.nodes}, g
+
+
+@given(
+    n=st.integers(min_value=3, max_value=10),
+    extra=st.integers(min_value=0, max_value=6),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=12, deadline=None)
+def test_dsdv_converges_to_shortest_paths(n, extra, seed):
+    adjacency, graph = random_connected_adjacency(n, extra, seed)
+    sim, stacks = make_perfect_net(
+        adjacency,
+        lambda nid, streams: DsdvRouting(
+            DsdvConfig(update_interval_s=0.3, route_lifetime_s=5.0),
+            streams.stream(f"r{nid}"),
+        ),
+        seed=seed + 1,
+    )
+    for s in stacks:
+        s.start()
+    # enough periods for network-diameter propagation
+    sim.run(until=0.5 + 0.35 * n)
+    for src_stack in stacks:
+        for dst in adjacency:
+            if dst == src_stack.node_id:
+                continue
+            entry = src_stack.routing.route_to(dst)
+            assert entry is not None, (src_stack.node_id, dst)
+            expected = nx.shortest_path_length(graph, src_stack.node_id, dst)
+            # Without weighted settling time (documented simplification),
+            # DSDV transiently prefers fresher-seqno routes over shorter
+            # ones — the classic route flutter the 1994 paper damps.  The
+            # flutter compounds along paths, so the bound is a small
+            # additive band over optimal, never below it (no negative
+            # cycles / loops).
+            assert expected <= entry.metric <= expected + 3
+
+
+@given(
+    n=st.integers(min_value=3, max_value=9),
+    extra=st.integers(min_value=0, max_value=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=10, deadline=None)
+def test_aodv_path_at_least_shortest(n, extra, seed):
+    adjacency, graph = random_connected_adjacency(n, extra, seed)
+    sim, stacks = make_perfect_net(
+        adjacency,
+        lambda nid, streams: AodvRouting(
+            AodvConfig(hello_enabled=False), streams.stream(f"r{nid}")
+        ),
+        seed=seed + 1,
+    )
+    for s in stacks:
+        s.start()
+    src, dst = 0, n - 1
+    got = []
+    stacks[dst].receive_callback = got.append
+    stacks[src].send_data(dst=dst, payload_bytes=16)
+    sim.run(until=5.0)
+    assert len(got) == 1
+    shortest = nx.shortest_path_length(graph, src, dst)
+    # AODV can never beat the true shortest path.  It may exceed it: the
+    # destination answers the first RREQ copy, and per-hop rebroadcast
+    # jitter (0-10 ms vs the 1 ms ideal-MAC hop delay) occasionally lets a
+    # longer flood branch win the race by a couple of hops.
+    assert shortest <= got[0].hops <= shortest + 3
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_scenario_determinism_property(seed):
+    from repro.experiments.runner import run_scenario
+    from repro.experiments.scenario import ScenarioConfig
+
+    config = ScenarioConfig(
+        protocol="aodv", grid_nx=3, grid_ny=3, n_flows=2,
+        sim_time_s=5.0, warmup_s=1.0, seed=seed,
+    )
+    a = run_scenario(config)
+    b = run_scenario(config)
+    assert a.events_executed == b.events_executed
+    assert a.totals == b.totals

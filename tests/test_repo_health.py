@@ -1,0 +1,82 @@
+"""Repository-health checks: documentation artefacts exist and are coherent."""
+
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+class TestDocumentationArtefacts:
+    def test_required_files_exist(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                     "pyproject.toml"):
+            assert (ROOT / name).is_file(), name
+
+    def test_design_declares_provenance_caveat(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        assert "Source-text mismatch" in text
+        assert "search-results listing" in text
+
+    def test_experiments_covers_every_registered_figure(self):
+        from repro.experiments.figures import ALL_FIGURES
+
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for name in ALL_FIGURES:
+            assert f"## {name}:" in text, f"{name} missing from EXPERIMENTS.md"
+
+    def test_readme_mentions_all_examples(self):
+        text = (ROOT / "README.md").read_text()
+        for script in (ROOT / "examples").glob("*.py"):
+            assert script.name in text, script.name
+
+    def test_docs_directory(self):
+        for name in ("PROTOCOLS.md", "VALIDATION.md", "TUTORIAL.md"):
+            assert (ROOT / "docs" / name).is_file(), name
+
+
+class TestBenchmarkCoverage:
+    def test_one_bench_per_registered_figure(self):
+        from repro.experiments.figures import ALL_FIGURES
+
+        bench_sources = " ".join(
+            p.read_text() for p in (ROOT / "benchmarks").glob("bench_*.py")
+        )
+        for name, fn in ALL_FIGURES.items():
+            assert fn.__name__ in bench_sources, (
+                f"figure {name} has no benchmark regenerating it"
+            )
+
+
+class TestPublicApi:
+    def test_package_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_all_exports_resolve(self):
+        import importlib
+
+        for pkg in ("repro.sim", "repro.phy", "repro.mac", "repro.net",
+                    "repro.core", "repro.traffic", "repro.topology",
+                    "repro.metrics", "repro.experiments", "repro.analysis",
+                    "repro.util"):
+            module = importlib.import_module(pkg)
+            for name in getattr(module, "__all__", []):
+                assert getattr(module, name, None) is not None, (pkg, name)
+
+    def test_every_public_module_has_docstring(self):
+        import importlib
+        import pkgutil
+
+        import repro
+
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(info.name)
+            assert module.__doc__, f"{info.name} lacks a module docstring"

@@ -1,0 +1,207 @@
+"""Unit tests for the discrete-event engine."""
+
+import math
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.errors import SchedulingError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(3.0, fired.append, "c")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in range(5):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "late", priority=5)
+        sim.schedule(1.0, fired.append, "early", priority=-5)
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.schedule(4.25, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5, 4.25]
+        assert sim.now == 4.25
+
+    def test_schedule_in_is_relative(self):
+        sim = Simulator(start_time=10.0)
+        seen = []
+        sim.schedule_in(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.5]
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule(4.0, lambda: None)
+
+    def test_schedule_at_now_allowed(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            sim.schedule(sim.now, fired.append, "zero-delay")
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert fired == ["zero-delay"]
+
+    def test_nonfinite_time_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(math.inf, lambda: None)
+        with pytest.raises(SchedulingError):
+            sim.schedule(math.nan, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule_in(-0.1, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule_in(1.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        h = sim.schedule(1.0, fired.append, "x")
+        h.cancel()
+        sim.run()
+        assert fired == []
+        assert h.cancelled
+
+    def test_double_cancel_raises(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        h.cancel()
+        with pytest.raises(SchedulingError):
+            h.cancel()
+
+    def test_cancel_after_fire_raises(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert h.expired
+        with pytest.raises(SchedulingError):
+            h.cancel()
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        h = sim.schedule(2.0, lambda: None)
+        h.cancel()
+        assert sim.pending == 1
+
+
+class TestRunControl:
+    def test_run_until_bound_is_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "at-bound")
+        sim.schedule(5.0001, fired.append, "beyond")
+        sim.run(until=5.0)
+        assert fired == ["at-bound"]
+        assert sim.now == 5.0
+
+    def test_run_resumable_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        sim.run(until=1.5)
+        assert fired == [1]
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_until_advances_clock_on_empty_queue(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, fired.append, 2)
+        sim.run()
+        assert fired == [1]
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_max_events_budget(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_executes_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        assert sim.step()
+        assert fired == ["a"]
+        assert sim.step()
+        assert not sim.step()
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        h = sim.schedule(9.0, lambda: None)
+        h.cancel()
+        sim.run()
+        assert sim.events_executed == 4
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h.cancel()
+        assert sim.peek() == 2.0
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def nested():
+            sim.run()
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(SchedulingError):
+            sim.run()

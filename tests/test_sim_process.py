@@ -1,0 +1,151 @@
+"""Unit tests for timers and periodic processes."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.errors import SchedulingError
+from repro.sim.process import PeriodicProcess, Timer
+
+
+class TestTimer:
+    def test_fires_once_after_delay(self):
+        sim = Simulator()
+        hits = []
+        t = Timer(sim, lambda: hits.append(sim.now))
+        t.start(3.0)
+        sim.run()
+        assert hits == [3.0]
+        assert not t.running
+
+    def test_start_while_running_raises(self):
+        sim = Simulator()
+        t = Timer(sim, lambda: None)
+        t.start(1.0)
+        with pytest.raises(SchedulingError):
+            t.start(2.0)
+
+    def test_restart_moves_deadline(self):
+        sim = Simulator()
+        hits = []
+        t = Timer(sim, lambda: hits.append(sim.now))
+        t.start(1.0)
+        t.restart(5.0)
+        sim.run()
+        assert hits == [5.0]
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        hits = []
+        t = Timer(sim, hits.append, "x")
+        t.start(1.0)
+        t.cancel()
+        sim.run()
+        assert hits == []
+
+    def test_cancel_idle_is_noop(self):
+        sim = Simulator()
+        t = Timer(sim, lambda: None)
+        t.cancel()  # no exception
+
+    def test_expiry_property(self):
+        sim = Simulator()
+        t = Timer(sim, lambda: None)
+        assert t.expiry is None
+        t.start(2.0)
+        assert t.expiry == 2.0
+
+    def test_timer_restartable_from_callback(self):
+        sim = Simulator()
+        hits = []
+
+        def fire():
+            hits.append(sim.now)
+            if len(hits) < 3:
+                t.start(1.0)
+
+        t = Timer(sim, fire)
+        t.start(1.0)
+        sim.run()
+        assert hits == [1.0, 2.0, 3.0]
+
+    def test_args_passed(self):
+        sim = Simulator()
+        got = []
+        t = Timer(sim, lambda a, b: got.append((a, b)), 1, 2)
+        t.start(0.5)
+        sim.run()
+        assert got == [(1, 2)]
+
+
+class TestPeriodicProcess:
+    def test_fires_at_period(self):
+        sim = Simulator()
+        hits = []
+        p = PeriodicProcess(sim, 1.0, lambda: hits.append(sim.now))
+        p.start()
+        sim.run(until=3.5)
+        assert hits == [1.0, 2.0, 3.0]
+        assert p.firings == 3
+
+    def test_initial_delay_override(self):
+        sim = Simulator()
+        hits = []
+        p = PeriodicProcess(sim, 1.0, lambda: hits.append(sim.now))
+        p.start(initial_delay=0.25)
+        sim.run(until=2.5)
+        assert hits == [0.25, 1.25, 2.25]
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        hits = []
+        p = PeriodicProcess(sim, 1.0, lambda: hits.append(sim.now))
+        p.start()
+        sim.run(until=2.0)
+        p.stop()
+        sim.run(until=10.0)
+        assert hits == [1.0, 2.0]
+
+    def test_callback_can_stop_cycle(self):
+        sim = Simulator()
+        hits = []
+
+        def fire():
+            hits.append(sim.now)
+            if len(hits) == 2:
+                p.stop()
+
+        p = PeriodicProcess(sim, 1.0, fire)
+        p.start()
+        sim.run(until=10.0)
+        assert hits == [1.0, 2.0]
+
+    def test_invalid_period_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            PeriodicProcess(sim, 0.0, lambda: None)
+
+    def test_jitter_applies_within_bounds(self):
+        sim = Simulator()
+        hits = []
+        p = PeriodicProcess(sim, 1.0, lambda: hits.append(sim.now),
+                            jitter_fn=lambda: 0.25)
+        p.start()
+        sim.run(until=4.0)
+        # first firing at period+jitter, each subsequent gap period+jitter
+        assert hits[0] == pytest.approx(1.25)
+        gaps = [b - a for a, b in zip(hits, hits[1:])]
+        assert all(g == pytest.approx(1.25) for g in gaps)
+
+    def test_out_of_range_jitter_rejected(self):
+        sim = Simulator()
+        p = PeriodicProcess(sim, 1.0, lambda: None, jitter_fn=lambda: 1.5)
+        with pytest.raises(SchedulingError):
+            p.start()
+            sim.run(until=5.0)
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        p = PeriodicProcess(sim, 1.0, lambda: None)
+        p.start()
+        with pytest.raises(SchedulingError):
+            p.start()

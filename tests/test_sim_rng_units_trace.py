@@ -1,0 +1,146 @@
+"""Unit tests for RNG streams, unit conversions, and tracing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import Tracer
+from repro.sim import units
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(7).stream("x").integers(0, 1000, size=10)
+        b = RandomStreams(7).stream("x").integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_names_independent(self):
+        rs = RandomStreams(7)
+        a = rs.stream("x").integers(0, 10**9, size=8)
+        b = rs.stream("y").integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_stream_memoised(self):
+        rs = RandomStreams(1)
+        assert rs.stream("a") is rs.stream("a")
+
+    def test_order_independent(self):
+        rs1 = RandomStreams(3)
+        rs1.stream("a")
+        v1 = rs1.stream("b").random()
+        rs2 = RandomStreams(3)
+        v2 = rs2.stream("b").random()  # created first this time
+        assert v1 == v2
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(-1)
+
+    def test_names_listing(self):
+        rs = RandomStreams(0)
+        rs.stream("b")
+        rs.stream("a")
+        assert rs.names() == ["a", "b"]
+
+
+class TestUnits:
+    def test_dbm_watt_roundtrip(self):
+        for dbm in [-90.0, -30.0, 0.0, 20.0]:
+            assert units.watt_to_dbm(units.dbm_to_watt(dbm)) == pytest.approx(dbm)
+
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert units.dbm_to_watt(0.0) == pytest.approx(1e-3)
+
+    def test_db_linear_roundtrip(self):
+        assert units.db_to_linear(units.linear_to_db(42.0)) == pytest.approx(42.0)
+
+    def test_nonpositive_power_rejected(self):
+        with pytest.raises(ValueError):
+            units.watt_to_dbm(0.0)
+        with pytest.raises(ValueError):
+            units.linear_to_db(-1.0)
+
+    def test_thermal_noise_80211b(self):
+        p = units.thermal_noise_watt(22e6, noise_figure_db=10.0)
+        assert -91.0 < units.watt_to_dbm(p) < -90.0
+
+    def test_thermal_noise_validates(self):
+        with pytest.raises(ValueError):
+            units.thermal_noise_watt(0.0)
+        with pytest.raises(ValueError):
+            units.thermal_noise_watt(22e6, temperature_k=0.0)
+
+    def test_airtime(self):
+        assert units.airtime(11_000_000, 11e6) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            units.airtime(100, 0.0)
+        with pytest.raises(ValueError):
+            units.airtime(-1, 1e6)
+
+    def test_bits_bytes(self):
+        assert units.bits_to_bytes(16) == 2
+        assert units.bytes_to_bits(3) == 24
+        with pytest.raises(ValueError):
+            units.bits_to_bytes(9)
+        with pytest.raises(ValueError):
+            units.bytes_to_bits(-1)
+
+    def test_isclose_time(self):
+        assert units.isclose_time(1.0, 1.0 + 1e-13)
+        assert not units.isclose_time(1.0, 1.0 + 1e-9)
+
+
+class TestTracer:
+    def test_disabled_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.record(0.0, "mac", 1, "tx")
+        assert len(t) == 0
+
+    def test_enabled_records(self):
+        t = Tracer(enabled=True)
+        t.record(1.0, "mac", 1, "tx", dst=2)
+        t.record(2.0, "phy", 1, "rx")
+        assert len(t) == 2
+        assert t.filter(category="mac")[0].details == {"dst": 2}
+
+    def test_category_filtering_at_record_time(self):
+        t = Tracer(enabled=True, categories={"mac"})
+        t.record(0.0, "phy", 1, "x")
+        t.record(0.0, "mac", 1, "y")
+        assert len(t) == 1
+
+    def test_filter_and_count(self):
+        t = Tracer(enabled=True)
+        for node in (1, 1, 2):
+            t.record(0.0, "net", node, "fwd")
+        assert t.count(node=1) == 2
+        assert t.count(event="fwd", node=2) == 1
+        assert t.count(category="nope") == 0
+
+    def test_max_records_drops(self):
+        t = Tracer(enabled=True, max_records=2)
+        for i in range(5):
+            t.record(float(i), "x", 0, "e")
+        assert len(t) == 2
+        assert t.dropped == 3
+
+    def test_sink_invoked(self):
+        got = []
+        t = Tracer(enabled=True, sink=got.append)
+        t.record(0.0, "mac", 3, "tx")
+        assert len(got) == 1
+        assert got[0].node == 3
+
+    def test_clear(self):
+        t = Tracer(enabled=True)
+        t.record(0.0, "a", 0, "e")
+        t.clear()
+        assert len(t) == 0
+
+    def test_str_rendering(self):
+        t = Tracer(enabled=True)
+        t.record(1.5, "mac", 2, "tx", dst=7)
+        s = str(list(t)[0])
+        assert "mac" in s and "tx" in s and "dst=7" in s

@@ -1,0 +1,178 @@
+"""Tests for flow specs, traffic sources, and sinks."""
+
+import numpy as np
+import pytest
+
+from repro.net.static_routing import RouteOracle, StaticRouting
+from repro.traffic.flows import FlowSpec, gateway_flows, random_flow_pairs
+from repro.traffic.generators import CbrSource, OnOffSource, PoissonSource
+from repro.traffic.sink import PacketSink
+
+from tests.conftest import chain_adjacency, make_perfect_net
+
+import networkx as nx
+
+
+def two_node_net():
+    g = nx.Graph()
+    g.add_edge(0, 1)
+    oracle = RouteOracle(g)
+    return make_perfect_net(
+        chain_adjacency(2), lambda nid, streams: StaticRouting(oracle)
+    )
+
+
+class TestFlowSpec:
+    def test_offered_load(self):
+        f = FlowSpec(flow_id=0, src=0, dst=1, payload_bytes=512, rate_pps=4.0)
+        assert f.offered_bps == 512 * 8 * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowSpec(flow_id=0, src=1, dst=1)
+        with pytest.raises(ValueError):
+            FlowSpec(flow_id=0, src=0, dst=1, rate_pps=0.0)
+        with pytest.raises(ValueError):
+            FlowSpec(flow_id=0, src=0, dst=1, start_s=5.0, stop_s=5.0)
+
+
+class TestFlowSamplers:
+    def test_random_pairs_distinct_endpoints(self):
+        rng = np.random.default_rng(1)
+        flows = random_flow_pairs(20, list(range(10)), rng)
+        assert all(f.src != f.dst for f in flows)
+        assert [f.flow_id for f in flows] == list(range(20))
+
+    def test_random_pairs_staggered_starts(self):
+        rng = np.random.default_rng(1)
+        flows = random_flow_pairs(5, list(range(10)), rng, start_s=1.0,
+                                  stagger_s=0.5)
+        assert [f.start_s for f in flows] == [1.0, 1.5, 2.0, 2.5, 3.0]
+
+    def test_gateway_flows_endpoints(self):
+        rng = np.random.default_rng(2)
+        flows = gateway_flows(
+            10, list(range(10)), gateways=[0], rng=rng, upstream_fraction=1.0
+        )
+        assert all(f.dst == 0 and f.src != 0 for f in flows)
+
+    def test_gateway_downstream_fraction(self):
+        rng = np.random.default_rng(2)
+        flows = gateway_flows(
+            30, list(range(10)), gateways=[0], rng=rng, upstream_fraction=0.0
+        )
+        assert all(f.src == 0 for f in flows)
+
+    def test_gateway_needs_non_gateway_nodes(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            gateway_flows(1, [0], gateways=[0], rng=rng)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_flow_pairs(0, [0, 1], rng)
+        with pytest.raises(ValueError):
+            random_flow_pairs(1, [0], rng)
+
+
+class TestCbrSource:
+    def test_constant_rate(self):
+        sim, stacks = two_node_net()
+        flow = FlowSpec(flow_id=0, src=0, dst=1, rate_pps=10.0,
+                        start_s=1.0, stop_s=3.0)
+        sent = []
+        src = CbrSource(sim, stacks[0], flow, on_send=sent.append)
+        src.start()
+        sim.run(until=5.0)
+        # 10 pps over [1.0, 3.0): t = 1.0, 1.1, ..., 2.9
+        assert len(sent) == 20
+        assert sent[0].created_at == pytest.approx(1.0)
+        assert [p.seq for p in sent] == list(range(20))
+
+    def test_stop_silences(self):
+        sim, stacks = two_node_net()
+        flow = FlowSpec(flow_id=0, src=0, dst=1, rate_pps=10.0, start_s=0.5)
+        sent = []
+        src = CbrSource(sim, stacks[0], flow, on_send=sent.append)
+        src.start()
+        sim.run(until=1.0)
+        src.stop()
+        count = len(sent)
+        sim.run(until=3.0)
+        assert len(sent) == count
+
+    def test_wrong_stack_rejected(self):
+        sim, stacks = two_node_net()
+        flow = FlowSpec(flow_id=0, src=1, dst=0)
+        with pytest.raises(ValueError):
+            CbrSource(sim, stacks[0], flow)
+
+
+class TestPoissonSource:
+    def test_mean_rate_approximate(self):
+        sim, stacks = two_node_net()
+        flow = FlowSpec(flow_id=0, src=0, dst=1, rate_pps=50.0,
+                        start_s=0.0, stop_s=20.0)
+        sent = []
+        src = PoissonSource(
+            sim, stacks[0], flow, np.random.default_rng(3), on_send=sent.append
+        )
+        src.start()
+        sim.run(until=20.0)
+        assert len(sent) == pytest.approx(1000, rel=0.15)
+
+    def test_gaps_vary(self):
+        sim, stacks = two_node_net()
+        flow = FlowSpec(flow_id=0, src=0, dst=1, rate_pps=20.0, stop_s=10.0)
+        sent = []
+        src = PoissonSource(
+            sim, stacks[0], flow, np.random.default_rng(3), on_send=sent.append
+        )
+        src.start()
+        sim.run(until=10.0)
+        gaps = {round(b.created_at - a.created_at, 6)
+                for a, b in zip(sent, sent[1:])}
+        assert len(gaps) > 10
+
+
+class TestOnOffSource:
+    def test_bursts_and_silences(self):
+        sim, stacks = two_node_net()
+        flow = FlowSpec(flow_id=0, src=0, dst=1, rate_pps=100.0,
+                        start_s=0.0, stop_s=30.0)
+        sent = []
+        src = OnOffSource(
+            sim, stacks[0], flow, np.random.default_rng(4),
+            on_mean_s=0.5, off_mean_s=0.5, on_send=sent.append,
+        )
+        src.start()
+        sim.run(until=30.0)
+        # mean rate ≈ 100 · 0.5 = 50 pps → ~1500 packets; loose bounds
+        assert 500 < len(sent) < 2500
+        gaps = [b.created_at - a.created_at for a, b in zip(sent, sent[1:])]
+        assert max(gaps) > 0.1  # silences exist
+        assert min(gaps) == pytest.approx(0.01, abs=1e-6)  # in-burst CBR
+
+    def test_validation(self):
+        sim, stacks = two_node_net()
+        flow = FlowSpec(flow_id=0, src=0, dst=1)
+        with pytest.raises(ValueError):
+            OnOffSource(sim, stacks[0], flow, np.random.default_rng(0),
+                        on_mean_s=0.0)
+
+
+class TestPacketSink:
+    def test_counts_and_forwards(self):
+        sim, stacks = two_node_net()
+        got = []
+        sink = PacketSink(stacks[1], on_receive=got.append)
+        # stop at 0.95 s: emissions land at 0.0 .. 0.9 exactly, with no
+        # float-accumulation ambiguity at the boundary
+        flow = FlowSpec(flow_id=0, src=0, dst=1, rate_pps=10.0,
+                        start_s=0.0, stop_s=0.95)
+        CbrSource(sim, stacks[0], flow).start()
+        sim.run(until=2.0)
+        assert sink.received == 10
+        assert sink.bytes_received == 10 * 512
+        assert len(got) == 10

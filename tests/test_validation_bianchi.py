@@ -1,0 +1,82 @@
+"""Tests for the Bianchi model and the saturation validation harness."""
+
+import pytest
+
+from repro.analysis.bianchi import (
+    saturation_throughput_bps,
+    timing_for,
+    transmission_probability,
+)
+from repro.experiments.validation import run_saturation, saturation_comparison
+from repro.mac.csma import MacConfig
+from repro.phy.radio import PhyConfig
+
+
+class TestBianchiModel:
+    def test_fixed_point_solves(self):
+        tau, p = transmission_probability(10, MacConfig())
+        assert 0.0 < tau < 1.0
+        assert 0.0 < p < 1.0
+        # consistency: p = 1-(1-tau)^(n-1)
+        assert p == pytest.approx(1.0 - (1.0 - tau) ** 9)
+
+    def test_tau_decreases_with_n(self):
+        taus = [transmission_probability(n, MacConfig())[0]
+                for n in (2, 5, 10, 20, 50)]
+        assert all(a > b for a, b in zip(taus, taus[1:]))
+
+    def test_collision_probability_increases_with_n(self):
+        ps = [transmission_probability(n, MacConfig())[1]
+              for n in (2, 5, 10, 20, 50)]
+        assert all(a < b for a, b in zip(ps, ps[1:]))
+
+    def test_throughput_declines_at_large_n(self):
+        assert saturation_throughput_bps(50) < saturation_throughput_bps(5)
+
+    def test_larger_cwmin_helps_at_high_n(self):
+        crowded = 50
+        small_cw = saturation_throughput_bps(crowded, MacConfig())
+        big_cw = saturation_throughput_bps(
+            crowded, MacConfig(cw_min=255, cw_max=1023)
+        )
+        assert big_cw > small_cw
+
+    def test_bigger_payload_more_efficient(self):
+        assert saturation_throughput_bps(
+            10, payload_bytes=1400
+        ) > saturation_throughput_bps(10, payload_bytes=128)
+
+    def test_needs_two_stations(self):
+        with pytest.raises(ValueError):
+            transmission_probability(1, MacConfig())
+
+    def test_timing_components(self):
+        t = timing_for(MacConfig(), PhyConfig(), 512)
+        assert t.slot_s == 20e-6
+        assert t.success_s > t.slot_s
+        assert t.payload_bits == 512 * 8
+
+
+class TestSaturationHarness:
+    def test_simulation_matches_model_small_n(self):
+        for n in (2, 5):
+            sim_bps = run_saturation(n, duration_s=2.0)
+            model_bps = saturation_throughput_bps(n)
+            assert sim_bps == pytest.approx(model_bps, rel=0.08), n
+
+    def test_comparison_rows_structure(self):
+        rows = saturation_comparison(station_counts=[2, 4], duration_s=1.0)
+        assert [int(r["n"]) for r in rows] == [2, 4]
+        for r in rows:
+            assert r["simulated_bps"] > 0
+            assert r["bianchi_bps"] > 0
+            assert abs(r["error_pct"]) < 25.0
+
+    def test_needs_two_stations(self):
+        with pytest.raises(ValueError):
+            run_saturation(1)
+
+    def test_deterministic(self):
+        a = run_saturation(3, duration_s=1.0, seed=9)
+        b = run_saturation(3, duration_s=1.0, seed=9)
+        assert a == b
