@@ -1,0 +1,97 @@
+"""Executor benchmark: parallel campaign speedup + byte-identical output.
+
+Runs one quick-mode multi-cell sweep (2 protocols × 2 offered loads ×
+2 seeds = 8 independent cells) twice — serially and through a worker
+pool — and records the wall-clock ratio.  Two invariants are asserted:
+
+* the parallel aggregate is **byte-identical** to the serial one (the
+  executor's core guarantee: results are reassembled in task order, and
+  fixed-seed runs are bit-deterministic across processes);
+* on a machine with enough cores, the pool is genuinely faster (the
+  speedup assertion is skipped on starved CI boxes — a 1-core runner
+  can only demonstrate correctness, not parallelism).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import replace
+
+from repro.exec import ExecPolicy, run_configs
+from repro.experiments.scenario import ScenarioConfig
+
+
+def _grid() -> list[ScenarioConfig]:
+    base = ScenarioConfig(
+        grid_nx=4, grid_ny=4, spacing_m=230.0, n_flows=6,
+        flow_pattern="gateway", n_gateways=2,
+        sim_time_s=12.0, warmup_s=2.0, seed=900,
+    )
+    return [
+        replace(base, protocol=proto, flow_rate_pps=rate, seed=base.seed + k)
+        for proto in ("aodv", "nlr")
+        for rate in (30.0, 60.0)
+        for k in range(2)
+    ]
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def bench_exec_speedup(benchmark):
+    configs = _grid()
+    cores = _available_cores()
+    workers = min(4, max(2, cores))
+
+    t0 = time.perf_counter()
+    serial = run_configs("bench-serial", configs, ExecPolicy(checkpoint=False))
+    serial_s = time.perf_counter() - t0
+
+    durations: list[float] = []
+
+    def timed_parallel():
+        t = time.perf_counter()
+        results = run_configs(
+            "bench-parallel", configs,
+            ExecPolicy(workers=workers, checkpoint=False),
+        )
+        durations.append(time.perf_counter() - t)
+        return results
+
+    parallel = benchmark.pedantic(timed_parallel, rounds=1, iterations=1)
+    parallel_s = durations[0]
+
+    blob_serial = json.dumps([r.as_dict() for r in serial], sort_keys=True)
+    blob_parallel = json.dumps([r.as_dict() for r in parallel], sort_keys=True)
+    assert blob_serial == blob_parallel, (
+        "parallel aggregate diverged from serial"
+    )
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    benchmark.extra_info["cells"] = len(configs)
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["cores"] = cores
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["parallel_s"] = round(parallel_s, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    print(
+        f"\n{len(configs)} cells: serial {serial_s:.2f}s, "
+        f"{workers} workers {parallel_s:.2f}s → {speedup:.2f}× "
+        f"({cores} cores visible)"
+    )
+    if cores >= 4 and workers >= 4:
+        assert speedup >= 2.5, (
+            f"expected ≥2.5× with {workers} workers on {cores} cores, "
+            f"got {speedup:.2f}×"
+        )
+    elif cores >= 2:
+        assert speedup >= 1.2, (
+            f"expected ≥1.2× with {workers} workers on {cores} cores, "
+            f"got {speedup:.2f}×"
+        )

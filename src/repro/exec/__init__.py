@@ -1,0 +1,63 @@
+"""Parallel campaign executor for embarrassingly parallel sweeps.
+
+Every reconstructed figure is a grid of independent ``(ScenarioConfig,
+seed)`` cells whose results are aggregated afterwards.  This package turns
+such a grid into a :class:`Campaign` of deterministic, content-addressed
+:class:`Task`\\ s and executes it under an :class:`ExecPolicy`:
+
+* ``workers=1`` (the default) runs cells in-process, in task order —
+  bit-identical to the historical serial loops, so seed tests and
+  determinism guarantees are untouched.
+* ``workers>1`` fans cells out over a ``ProcessPoolExecutor`` with
+  per-task wall-clock timeouts, bounded retry with backoff, and
+  worker-crash isolation (a dead or hung cell is recorded as failed and
+  the campaign continues).
+* Completed cells are checkpointed one file each under
+  ``results/cache/cells/`` so an interrupted campaign resumes from what
+  finished instead of recomputing the whole sweep.
+* Progress (completed/failed, ETA, simulated events/s) streams to stderr
+  and to a structured JSONL run log.
+
+Because each cell is simulated from its own seed in a fresh engine, the
+aggregate of a parallel campaign is byte-identical to the serial one —
+results are reassembled in task order, never completion order.
+
+Quickstart::
+
+    from repro.exec import ExecPolicy, run_configs
+
+    results = run_configs("my-sweep", configs, ExecPolicy(workers=4))
+
+or process-wide (the experiments CLI does this for ``--workers``)::
+
+    from repro.exec import configure
+
+    configure(workers=4, resume=True)
+"""
+
+from repro.exec.checkpoint import CHECKPOINT_SCHEMA, CheckpointStore
+from repro.exec.policy import ExecPolicy, configure, current_policy, using
+from repro.exec.progress import ProgressReporter
+from repro.exec.scheduler import (
+    CampaignExecutor,
+    CampaignResult,
+    TaskOutcome,
+    run_configs,
+)
+from repro.exec.task import Campaign, Task
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "Campaign",
+    "CampaignExecutor",
+    "CampaignResult",
+    "CheckpointStore",
+    "ExecPolicy",
+    "ProgressReporter",
+    "Task",
+    "TaskOutcome",
+    "configure",
+    "current_policy",
+    "run_configs",
+    "using",
+]

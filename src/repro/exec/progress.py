@@ -1,0 +1,149 @@
+"""Campaign progress: throttled stderr lines + structured JSONL run log.
+
+One :class:`ProgressReporter` observes one campaign.  It prints a
+human-facing status line at most every ``min_interval_s`` seconds
+(``[name] done/total ok, N failed, M cached | X ev/s | ETA Ys``) and, when
+given a log path, appends one JSON object per event — machine-readable
+telemetry that survives the run (throughput regressions, failure
+forensics, resumability audits).
+
+Events: ``campaign_start``, ``task_done``, ``campaign_end``.  The
+``task_done`` record carries task id, status, attempts, duration, source
+(fresh run vs checkpoint), and simulated events executed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Any
+
+__all__ = ["ProgressReporter"]
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.scheduler import CampaignResult, TaskOutcome
+    from repro.exec.task import Campaign
+
+
+class ProgressReporter:
+    """Streams campaign progress to stderr and an optional JSONL log."""
+
+    def __init__(
+        self,
+        stream: IO[str] | None = None,
+        log_path: str | Path | None = None,
+        min_interval_s: float = 1.0,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.log_path = Path(log_path) if log_path is not None else None
+        self.min_interval_s = min_interval_s
+        self._name = ""
+        self._total = 0
+        self._ok = 0
+        self._failed = 0
+        self._cached = 0
+        self._events = 0
+        self._run_time_s = 0.0  # summed per-task durations (fresh runs)
+        self._runs = 0
+        self._workers = 1
+        self._t0 = 0.0
+        self._last_line = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Event hooks (called by the executor)
+    # ------------------------------------------------------------------ #
+    def campaign_started(self, campaign: "Campaign", workers: int) -> None:
+        self._name = campaign.name
+        self._total = len(campaign)
+        self._workers = max(1, workers)
+        self._t0 = time.monotonic()
+        self._last_line = 0.0
+        self._log(
+            {
+                "event": "campaign_start",
+                "campaign": campaign.name,
+                "tasks": len(campaign),
+                "workers": workers,
+            }
+        )
+
+    def task_finished(self, outcome: "TaskOutcome") -> None:
+        if outcome.status == "ok":
+            self._ok += 1
+            if outcome.result is not None:
+                self._events += outcome.result.events_executed
+        else:
+            self._failed += 1
+        if outcome.source == "checkpoint":
+            self._cached += 1
+        else:
+            self._runs += 1
+            self._run_time_s += outcome.duration_s
+        self._log(
+            {
+                "event": "task_done",
+                "campaign": self._name,
+                "task_id": outcome.task.task_id,
+                "task": outcome.task.describe(),
+                "status": outcome.status,
+                "source": outcome.source,
+                "kind": outcome.kind,
+                "attempts": outcome.attempts,
+                "duration_s": round(outcome.duration_s, 6),
+                "events_executed": (
+                    outcome.result.events_executed if outcome.result else 0
+                ),
+                "error": outcome.error,
+            }
+        )
+        self._line(final=self._ok + self._failed >= self._total)
+
+    def campaign_finished(self, result: "CampaignResult") -> None:
+        wall = max(time.monotonic() - self._t0, 1e-9)
+        self._log(
+            {
+                "event": "campaign_end",
+                "campaign": self._name,
+                "ok": self._ok,
+                "failed": self._failed,
+                "cached": self._cached,
+                "wall_s": round(wall, 3),
+                "events_per_s": round(self._events / wall, 1),
+            }
+        )
+        self._line(final=True)
+
+    # ------------------------------------------------------------------ #
+    # Output
+    # ------------------------------------------------------------------ #
+    def _line(self, final: bool = False) -> None:
+        now = time.monotonic()
+        if not final and now - self._last_line < self.min_interval_s:
+            return
+        self._last_line = now
+        wall = max(now - self._t0, 1e-9)
+        done = self._ok + self._failed
+        parts = [f"[{self._name}] {done}/{self._total} done"]
+        if self._failed:
+            parts.append(f"{self._failed} failed")
+        if self._cached:
+            parts.append(f"{self._cached} cached")
+        parts.append(f"{self._events / wall:,.0f} ev/s")
+        remaining = self._total - done
+        if remaining and self._runs:
+            eta = remaining * (self._run_time_s / self._runs) / self._workers
+            parts.append(f"ETA {eta:,.0f}s")
+        print(" | ".join(parts), file=self.stream, flush=True)
+
+    def _log(self, record: dict[str, Any]) -> None:
+        if self.log_path is None:
+            return
+        record = {"t": round(time.time(), 3), **record}
+        try:
+            self.log_path.parent.mkdir(parents=True, exist_ok=True)
+            with self.log_path.open("a") as fh:
+                fh.write(json.dumps(record) + "\n")
+        except OSError:  # telemetry must never kill the campaign
+            pass

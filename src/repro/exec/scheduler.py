@@ -1,0 +1,358 @@
+"""Campaign scheduler: serial or process-pool execution with isolation.
+
+The :class:`CampaignExecutor` runs a :class:`~repro.exec.task.Campaign`
+under an :class:`~repro.exec.policy.ExecPolicy`:
+
+* ``workers == 1``: cells execute in-process, in task order — the
+  historical serial behaviour.
+* ``workers > 1``: cells fan out over a ``ProcessPoolExecutor``.  Failure
+  containment is layered: simulation errors and wall-clock timeouts are
+  returned as structured failures by the worker (retried with exponential
+  backoff up to ``retries`` times); hard process death (segfault, OOM
+  kill) breaks the pool, which the scheduler rebuilds — tasks that were
+  in flight are requeued under a separate, small crash budget so one
+  poisoned cell cannot sink its innocent neighbours, yet a cell that
+  kills every worker it touches is eventually recorded as failed and the
+  campaign completes without it.
+
+Completed cells are checkpointed per-task (see
+:mod:`repro.exec.checkpoint`); with ``resume=True`` they are loaded
+instead of recomputed.  Outcomes are always reassembled in task order, so
+parallel aggregates are byte-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exec.checkpoint import CheckpointStore
+from repro.exec.policy import ExecPolicy, current_policy
+from repro.exec.progress import ProgressReporter
+from repro.exec.task import Campaign, Task
+from repro.exec.worker import (
+    execute_payload,
+    payload_for_config,
+    watch_parent,
+)
+from repro.experiments.cache import cache_dir
+from repro.experiments.runner import ScenarioResult
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.serialization import result_from_dict, result_to_dict
+
+__all__ = [
+    "CampaignExecutor",
+    "CampaignResult",
+    "TaskOutcome",
+    "run_configs",
+]
+
+
+@dataclass(slots=True)
+class TaskOutcome:
+    """What happened to one task.
+
+    ``status`` is ``"ok"`` or ``"failed"``; ``source`` says whether the
+    result came from a fresh ``"run"`` or a ``"checkpoint"``; ``kind``
+    classifies failures (``"error"``, ``"timeout"``, ``"crash"``).
+    """
+
+    task: Task
+    status: str
+    source: str = "run"
+    result: ScenarioResult | None = None
+    error: str | None = None
+    kind: str | None = None
+    attempts: int = 1
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class CampaignResult:
+    """Outcomes of a finished campaign, in task order."""
+
+    def __init__(
+        self, campaign: Campaign, outcomes: list[TaskOutcome], wall_s: float
+    ) -> None:
+        self.campaign = campaign
+        self.outcomes = outcomes
+        self.wall_s = wall_s
+
+    @property
+    def ok(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok)
+
+    @property
+    def failed(self) -> int:
+        return len(self.outcomes) - self.ok
+
+    @property
+    def failures(self) -> list[TaskOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def results(self, strict: bool = True) -> list[ScenarioResult]:
+        """Results in task order; raises on any failure when ``strict``."""
+        if strict and self.failed:
+            lines = [
+                f"  {o.task.describe()}: [{o.kind}] "
+                f"{(o.error or '').strip().splitlines()[-1] if o.error else '?'}"
+                for o in self.failures[:5]
+            ]
+            raise RuntimeError(
+                f"campaign {self.campaign.name!r}: {self.failed} of "
+                f"{len(self.outcomes)} tasks failed:\n" + "\n".join(lines)
+            )
+        return [o.result for o in self.outcomes if o.ok]
+
+
+class CampaignExecutor:
+    """Runs campaigns under a policy; see module docstring."""
+
+    def __init__(
+        self,
+        policy: ExecPolicy | None = None,
+        store: CheckpointStore | None = None,
+        reporter: ProgressReporter | None = None,
+    ) -> None:
+        self.policy = policy
+        self.store = store
+        self.reporter = reporter
+
+    # ------------------------------------------------------------------ #
+    def run(self, campaign: Campaign) -> CampaignResult:
+        policy = self.policy if self.policy is not None else current_policy()
+        store = self.store
+        if store is None and policy.wants_checkpoint:
+            store = CheckpointStore()
+        reporter = self.reporter
+        if reporter is None and policy.progress:
+            log_dir = policy.log_dir or cache_dir() / "runs"
+            reporter = ProgressReporter(
+                log_path=log_dir
+                / f"{campaign.name}-{os.getpid()}-{int(time.time())}.jsonl"
+            )
+
+        t0 = time.monotonic()
+        if reporter is not None:
+            reporter.campaign_started(campaign, policy.workers)
+
+        outcomes: dict[int, TaskOutcome] = {}
+
+        def record(index: int, outcome: TaskOutcome) -> None:
+            outcomes[index] = outcome
+            if outcome.ok and outcome.source == "run" and store is not None:
+                # Reserialising the reconstructed result is exact
+                # (shortest-repr floats round-trip).
+                store.store(outcome.task.task_id, result_to_dict(outcome.result))
+            if reporter is not None:
+                reporter.task_finished(outcome)
+
+        # Resume pass: completed cells load instead of recomputing.
+        pending: list[int] = []
+        for i, task in enumerate(campaign.tasks):
+            payload = store.load(task.task_id) if (policy.resume and store) else None
+            if payload is not None:
+                record(
+                    i,
+                    TaskOutcome(
+                        task=task,
+                        status="ok",
+                        source="checkpoint",
+                        result=result_from_dict(payload),
+                        attempts=0,
+                    ),
+                )
+            else:
+                pending.append(i)
+
+        if pending:
+            if policy.workers <= 1:
+                self._run_serial(campaign, pending, policy, record)
+            else:
+                self._run_parallel(campaign, pending, policy, record)
+
+        ordered = [outcomes[i] for i in range(len(campaign.tasks))]
+        result = CampaignResult(campaign, ordered, time.monotonic() - t0)
+        if reporter is not None:
+            reporter.campaign_finished(result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _run_serial(self, campaign, pending, policy, record) -> None:
+        for i in pending:
+            task = campaign.tasks[i]
+            attempt = 0
+            while True:
+                attempt += 1
+                out = execute_payload(
+                    payload_for_config(task.config, policy.task_timeout_s)
+                )
+                if out["ok"]:
+                    record(i, self._ok_outcome(task, out, attempt))
+                    break
+                if attempt <= policy.retries:
+                    if policy.backoff_s > 0:
+                        time.sleep(policy.backoff_s * (2 ** (attempt - 1)))
+                    continue
+                record(i, self._fail_outcome(task, out, attempt))
+                break
+
+    def _run_parallel(self, campaign, pending, policy, record) -> None:
+        # Crash containment: when a worker dies hard, the whole pool
+        # breaks and every unfinished future is indistinguishable from the
+        # victim.  All of them are requeued as *suspects* and re-run one
+        # per single-task pool, so a poisoned cell can only break its own
+        # pool.  A cell that crashes ``crash_limit`` times (once shared,
+        # then solo) is recorded as failed; innocents complete solo on
+        # their first quarantined run.
+        crash_limit = max(2, policy.retries + 1)
+        queue: list[tuple[int, int, int]] = [(i, 1, 0) for i in pending]
+        round_no = 0
+        while queue:
+            if round_no and policy.backoff_s > 0:
+                time.sleep(min(policy.backoff_s * (2 ** (round_no - 1)), 30.0))
+            round_no += 1
+            batch, queue = queue, []
+            retry: list[tuple[int, int, int]] = []
+
+            def absorb(index: int, attempt: int, crashes: int, out: dict) -> None:
+                task = campaign.tasks[index]
+                if out["ok"]:
+                    record(index, self._ok_outcome(task, out, attempt))
+                elif attempt <= policy.retries:
+                    retry.append((index, attempt + 1, crashes))
+                else:
+                    record(index, self._fail_outcome(task, out, attempt))
+
+            def crashed(index: int, attempt: int, crashes: int) -> None:
+                crashes += 1
+                if crashes >= crash_limit:
+                    record(
+                        index,
+                        TaskOutcome(
+                            task=campaign.tasks[index],
+                            status="failed",
+                            kind="crash",
+                            error=(
+                                "worker process died repeatedly "
+                                f"({crashes}×) while running this task"
+                            ),
+                            attempts=attempt,
+                        ),
+                    )
+                else:
+                    retry.append((index, attempt, crashes))
+
+            fresh = [entry for entry in batch if entry[2] == 0]
+            suspects = [entry for entry in batch if entry[2] > 0]
+
+            if fresh:
+                self._run_pool(
+                    campaign, fresh, policy, min(policy.workers, len(fresh)),
+                    absorb, crashed,
+                )
+            for entry in suspects:
+                self._run_pool(
+                    campaign, [entry], policy, 1, absorb, crashed
+                )
+            queue = retry
+
+    def _run_pool(
+        self, campaign, batch, policy, workers, absorb, crashed
+    ) -> None:
+        """One pool over ``batch``; crash-suspect entries go to ``crashed``."""
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=watch_parent,
+            initargs=(os.getpid(),),
+        )
+        futures = {
+            pool.submit(
+                execute_payload,
+                payload_for_config(
+                    campaign.tasks[i].config, policy.task_timeout_s
+                ),
+            ): (i, attempt, crashes)
+            for i, attempt, crashes in batch
+        }
+        try:
+            for fut in as_completed(futures):
+                i, attempt, crashes = futures.pop(fut)
+                try:
+                    out = fut.result()
+                except BrokenProcessPool:
+                    futures[fut] = (i, attempt, crashes)
+                    raise
+                except Exception as exc:  # e.g. result unpickling
+                    out = {
+                        "ok": False,
+                        "kind": "error",
+                        "error": repr(exc),
+                        "duration_s": 0.0,
+                    }
+                absorb(i, attempt, crashes, out)
+        except BrokenProcessPool:
+            # A worker died hard.  Finished futures that slipped through
+            # before the break are absorbed normally; the rest (victim
+            # plus in-flight/queued siblings) become crash suspects.
+            for fut, (i, attempt, crashes) in futures.items():
+                out = None
+                if fut.done() and not fut.cancelled():
+                    try:
+                        out = fut.result()
+                    except Exception:
+                        out = None
+                if out is not None:
+                    absorb(i, attempt, crashes, out)
+                else:
+                    crashed(i, attempt, crashes)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _ok_outcome(task: Task, out: dict, attempt: int) -> TaskOutcome:
+        return TaskOutcome(
+            task=task,
+            status="ok",
+            result=result_from_dict(out["result"]),
+            attempts=attempt,
+            duration_s=out.get("duration_s", 0.0),
+        )
+
+    @staticmethod
+    def _fail_outcome(task: Task, out: dict, attempt: int) -> TaskOutcome:
+        return TaskOutcome(
+            task=task,
+            status="failed",
+            kind=out.get("kind", "error"),
+            error=out.get("error"),
+            attempts=attempt,
+            duration_s=out.get("duration_s", 0.0),
+        )
+
+
+def run_configs(
+    name: str,
+    configs: Sequence[ScenarioConfig],
+    policy: ExecPolicy | None = None,
+    reporter: ProgressReporter | None = None,
+    tags: Sequence[str] | None = None,
+) -> list[ScenarioResult]:
+    """Execute ready-made configs as one campaign; results in input order.
+
+    The one-call entry point the figure sweeps use: policy defaults to the
+    process-wide :func:`~repro.exec.policy.current_policy` (which the CLI
+    configures from ``--workers``/``--resume``), and any failed cell
+    raises with a summary of what went wrong.
+    """
+    campaign = Campaign.from_configs(name, configs, tags=tags)
+    executor = CampaignExecutor(policy=policy, reporter=reporter)
+    return executor.run(campaign).results()

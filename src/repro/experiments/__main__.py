@@ -6,6 +6,13 @@ Usage::
     python -m repro.experiments --figure fig1
     python -m repro.experiments --figure fig1 --figure fig2 --full
     python -m repro.experiments --all --write
+    python -m repro.experiments --figure fig1 --workers 4
+    python -m repro.experiments --all --workers 4 --resume
+
+``--workers N`` fans the sweep cells of each figure out over N worker
+processes (tables stay byte-identical to serial runs); ``--resume`` picks
+an interrupted regeneration back up from its per-cell checkpoints instead
+of recomputing finished cells.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.exec import configure
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.report import write_experiments_md
 
@@ -37,7 +45,34 @@ def main(argv: list[str] | None = None) -> int:
         help="with --all: write EXPERIMENTS.md at the repo root",
     )
     parser.add_argument("--list", action="store_true", help="list figure ids")
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for sweep cells (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="reuse per-cell checkpoints from an interrupted regeneration",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="S",
+        help="wall-clock budget per simulation cell (default: unlimited)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="re-attempts per failed/timed-out cell (default 1)",
+    )
     args = parser.parse_args(argv)
+
+    if args.workers < 1:
+        parser.error("--workers must be ≥ 1")
+    configure(
+        workers=args.workers,
+        resume=args.resume,
+        task_timeout_s=args.task_timeout,
+        retries=args.retries,
+        # Progress/telemetry once execution is more than a plain serial loop.
+        progress=args.workers > 1 or args.resume,
+    )
 
     if args.list:
         for name, fn in ALL_FIGURES.items():

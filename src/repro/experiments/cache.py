@@ -6,6 +6,13 @@ parameter set.  Re-rendering a figure, or a second figure sharing the same
 sweep (Fig 1/Fig 2 share the offered-load sweep; Fig 4/Fig 6 share the
 network-size sweep), costs nothing after the first computation.
 
+Entries are schema-versioned: files from an older format, truncated
+writes, and hand-mangled JSON are all treated as misses — the bad entry is
+deleted and the value recomputed.  Writes go through a per-process unique
+temp file followed by an atomic ``os.replace``, so concurrent writers of
+the same key (e.g. parallel campaign workers) can never interleave bytes;
+last writer wins with a complete file.
+
 Set the environment variable ``REPRO_NO_CACHE=1`` to bypass reads (writes
 still happen), or delete ``results/cache/`` to invalidate everything.
 """
@@ -15,10 +22,23 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Any, Callable
 
-__all__ = ["cache_dir", "cached", "cache_key"]
+__all__ = [
+    "CACHE_SCHEMA",
+    "atomic_write_json",
+    "cache_dir",
+    "cache_key",
+    "cached",
+]
+
+#: Bump when the on-disk entry layout changes; older entries then read as
+#: misses and are recomputed instead of being misinterpreted.
+CACHE_SCHEMA = 1
+
+_MISS = object()
 
 
 def cache_dir() -> Path:
@@ -41,6 +61,50 @@ def cache_key(name: str, params: dict[str, Any]) -> str:
     return f"{name}-{hashlib.sha256(blob.encode()).hexdigest()[:16]}"
 
 
+def atomic_write_json(path: Path, payload: Any) -> None:
+    """Write ``payload`` as JSON via a unique temp file + atomic replace.
+
+    ``tempfile`` names the temp file uniquely per process/thread, so two
+    writers of the same key never share a partially written file; the
+    final ``os.replace`` is atomic on POSIX.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f"{path.stem}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, default=str)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _read_entry(path: Path) -> Any:
+    """Load a cache entry; return ``_MISS`` (and delete the file) if it is
+    missing, truncated, hand-mangled, or from an older schema."""
+    try:
+        with path.open() as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return _MISS
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+        path.unlink(missing_ok=True)
+        return _MISS
+    if (
+        not isinstance(data, dict)
+        or data.get("schema") != CACHE_SCHEMA
+        or "value" not in data
+    ):
+        path.unlink(missing_ok=True)
+        return _MISS
+    return data["value"]
+
+
 def cached(
     name: str, params: dict[str, Any], compute: Callable[[], Any]
 ) -> Any:
@@ -50,12 +114,13 @@ def cached(
     lists/dicts of floats).
     """
     path = cache_dir() / f"{cache_key(name, params)}.json"
-    if path.exists() and not os.environ.get("REPRO_NO_CACHE"):
-        with path.open() as fh:
-            return json.load(fh)["value"]
+    if not os.environ.get("REPRO_NO_CACHE"):
+        value = _read_entry(path)
+        if value is not _MISS:
+            return value
     value = compute()
-    tmp = path.with_suffix(".tmp")
-    with tmp.open("w") as fh:
-        json.dump({"name": name, "params": params, "value": value}, fh, default=str)
-    tmp.replace(path)
+    atomic_write_json(
+        path,
+        {"schema": CACHE_SCHEMA, "name": name, "params": params, "value": value},
+    )
     return value

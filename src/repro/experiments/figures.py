@@ -9,6 +9,11 @@ disk (see :mod:`repro.experiments.cache`); figure pairs sharing a sweep
 Every function accepts ``quick``: the default True uses the reduced
 parameter set sized for CI-class machines (2 replications, 15–25 s of
 simulated time); ``quick=False`` uses the full 5-replication settings.
+
+Sweep cells execute through :mod:`repro.exec`: each grid is submitted as
+one campaign of independent ``(config, seed)`` tasks, so configuring a
+worker pool (``python -m repro.experiments --workers N``) parallelises
+whole figures while producing byte-identical tables to serial runs.
 """
 
 from __future__ import annotations
@@ -18,8 +23,10 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.analysis.stats import summarize
+from repro.exec import run_configs
 from repro.experiments.cache import cached
-from repro.experiments.runner import replicate, run_scenario
+from repro.experiments.runner import ScenarioResult
 from repro.experiments.scenario import ScenarioConfig
 from repro.metrics.fairness import jain_index, load_concentration
 from repro.metrics.summary import format_table
@@ -95,14 +102,41 @@ def _point_reps(quick: bool) -> int:
     return 3 if quick else 6
 
 
-def _cell(config: ScenarioConfig, n_runs: int) -> dict[str, float]:
-    """Replicate one config; return means + CI half-widths as plain floats."""
-    _, summary = replicate(config, n_runs=n_runs)
+def _summarize_cell(results: Sequence[ScenarioResult]) -> dict[str, float]:
+    """Means + 95 % CI half-widths of one cell's replications, as floats."""
     out: dict[str, float] = {}
-    for key, ci in summary.items():
+    for key, ci in summarize([r.as_dict() for r in results]).items():
         out[key] = ci.mean
         out[f"{key}_ci"] = ci.half_width
     return out
+
+
+def _replicated_cells(
+    name: str,
+    cells: Sequence[tuple[Any, ScenarioConfig]],
+    n_runs: int,
+) -> dict[Any, dict[str, float]]:
+    """Replicate every ``(key, config)`` cell as ONE executor campaign.
+
+    All ``len(cells) × n_runs`` runs are submitted together, so a
+    configured worker pool (``repro.exec``, CLI ``--workers``) parallelises
+    across the whole grid, not just within one cell.  Results are grouped
+    back in task order — aggregation never sees completion order, which
+    keeps parallel output byte-identical to serial.
+    """
+    keys: list[Any] = []
+    configs: list[ScenarioConfig] = []
+    tags: list[str] = []
+    for key, config in cells:
+        for k in range(n_runs):
+            keys.append(key)
+            configs.append(replace(config, seed=config.seed + k))
+            tags.append(str(key))
+    results = run_configs(name, configs, tags=tags)
+    grouped: dict[Any, list[ScenarioResult]] = {}
+    for key, result in zip(keys, results):
+        grouped.setdefault(key, []).append(result)
+    return {key: _summarize_cell(runs) for key, runs in grouped.items()}
 
 
 def _protocol_sweep(
@@ -129,12 +163,15 @@ def _protocol_sweep(
     }
 
     def compute() -> dict[str, dict[str, dict[str, float]]]:
+        cells = [
+            ((proto, str(value)), replace(apply(base, value), protocol=proto))
+            for proto in protocols
+            for value in values
+        ]
+        flat = _replicated_cells(sweep_name, cells, n_runs)
         table: dict[str, dict[str, dict[str, float]]] = {}
-        for proto in protocols:
-            table[proto] = {}
-            for value in values:
-                config = replace(apply(base, value), protocol=proto)
-                table[proto][str(value)] = _cell(config, n_runs)
+        for (proto, value_key), metrics in flat.items():
+            table.setdefault(proto, {})[value_key] = metrics
         return table
 
     return cached(sweep_name, params, compute)
@@ -387,16 +424,22 @@ def fig5_load_distribution(quick: bool = True) -> FigureResult:
     params = {"point": REFERENCE_POINT, "n_runs": n_runs, "quick": quick}
 
     def compute() -> dict[str, dict[str, float]]:
-        out: dict[str, dict[str, float]] = {}
+        keys, configs = [], []
         for proto in COMPARED:
             config = ScenarioConfig(
                 protocol=proto,
                 sim_time_s=20.0 if quick else 40.0,
                 **REFERENCE_POINT,
             )
-            jains, top3, maxs = [], [], []
             for k in range(n_runs):
-                r = run_scenario(replace(config, seed=config.seed + k))
+                keys.append(proto)
+                configs.append(replace(config, seed=config.seed + k))
+        results = run_configs("fig5_load_distribution", configs, tags=keys)
+        out: dict[str, dict[str, float]] = {}
+        for proto in COMPARED:
+            runs = [r for key, r in zip(keys, results) if key == proto]
+            jains, top3, maxs = [], [], []
+            for r in runs:
                 per_node = np.asarray(r.per_node_forwarded)
                 jains.append(jain_index(per_node))
                 top3.append(load_concentration(per_node, top_k=3))
@@ -500,15 +543,18 @@ def table2_summary(quick: bool = True) -> FigureResult:
               "quick": quick}
 
     def compute() -> dict[str, dict[str, float]]:
-        out: dict[str, dict[str, float]] = {}
-        for proto in protocols:
-            config = ScenarioConfig(
-                protocol=proto,
-                sim_time_s=20.0 if quick else 40.0,
-                **REFERENCE_POINT,
+        cells = [
+            (
+                proto,
+                ScenarioConfig(
+                    protocol=proto,
+                    sim_time_s=20.0 if quick else 40.0,
+                    **REFERENCE_POINT,
+                ),
             )
-            out[proto] = _cell(config, n_runs)
-        return out
+            for proto in protocols
+        ]
+        return _replicated_cells("table2_summary", cells, n_runs)
 
     table = cached("table2_summary", params, compute)
     rows = []
@@ -559,15 +605,18 @@ def _ablation(
               "n_runs": n_runs, "quick": quick}
 
     def compute() -> dict[str, dict[str, float]]:
-        out: dict[str, dict[str, float]] = {}
-        for proto in protocols:
-            config = ScenarioConfig(
-                protocol=proto,
-                sim_time_s=20.0 if quick else 40.0,
-                **REFERENCE_POINT,
+        cells = [
+            (
+                proto,
+                ScenarioConfig(
+                    protocol=proto,
+                    sim_time_s=20.0 if quick else 40.0,
+                    **REFERENCE_POINT,
+                ),
             )
-            out[proto] = _cell(config, n_runs)
-        return out
+            for proto in protocols
+        ]
+        return _replicated_cells(name, cells, n_runs)
 
     table = cached(name, params, compute)
     rows = []
@@ -695,17 +744,20 @@ def ext_rtscts(quick: bool = True) -> FigureResult:
               "n_runs": n_runs, "quick": quick}
 
     def compute() -> dict[str, dict[str, float]]:
-        out: dict[str, dict[str, float]] = {}
-        for proto in protocols:
-            for rts in (False, True):
-                config = ScenarioConfig(
+        cells = [
+            (
+                f"{proto}{'+rts' if rts else ''}",
+                ScenarioConfig(
                     protocol=proto,
                     mac_config=MacConfig(rts_cts_enabled=rts),
                     sim_time_s=20.0 if quick else 40.0,
                     **REFERENCE_POINT,
-                )
-                out[f"{proto}{'+rts' if rts else ''}"] = _cell(config, n_runs)
-        return out
+                ),
+            )
+            for proto in protocols
+            for rts in (False, True)
+        ]
+        return _replicated_cells("ext_rtscts", cells, n_runs)
 
     table = cached("ext_rtscts", params, compute)
     rows = []

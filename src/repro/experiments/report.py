@@ -74,6 +74,12 @@ or everything (writes this file) with::
 
     python -m repro.experiments --all --write
 
+Parallel regeneration (``--workers N``) produces byte-identical figures
+to a serial run — fixed-seed cells are bit-deterministic across
+processes and the executor reassembles them in task order.  An
+interrupted regeneration continues from per-cell checkpoints with
+``--resume``.
+
 """
 
 

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
-import math
 import time
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec import ExecPolicy
 
 from repro.analysis.stats import ConfidenceInterval, summarize
 from repro.experiments.scenario import Network, ScenarioConfig, build_network
@@ -74,11 +77,11 @@ def collect_result(net: Network, wallclock_s: float = 0.0) -> ScenarioResult:
     totals = network_totals(net.stacks)
     span = config.sim_time_s - config.warmup_s
     per_node = forwarding_load(net.protocols)
-    delay = collector.mean_delay_s()
     return ScenarioResult(
         config=config,
         pdr=collector.overall_pdr(),
-        mean_delay_s=delay if delay == delay else math.nan,
+        # NaN when nothing was delivered (the collector's convention).
+        mean_delay_s=collector.mean_delay_s(),
         throughput_bps=collector.aggregate_throughput_bps(span),
         mean_hops=collector.mean_hops(),
         rreq_tx=totals["rreq_tx"],
@@ -100,17 +103,30 @@ def replicate(
     n_runs: int = 5,
     base_seed: int | None = None,
     level: float = 0.95,
+    policy: ExecPolicy | None = None,
 ) -> tuple[list[ScenarioResult], dict[str, ConfidenceInterval]]:
     """Run ``config`` under ``n_runs`` seeds; return runs + mean ± CI.
 
     Seeds are ``base_seed + k`` (default base: ``config.seed``), so a
     replication set is itself reproducible.
+
+    Execution goes through :mod:`repro.exec`: with the default policy the
+    runs happen serially in-process exactly as they always have; pass an
+    :class:`~repro.exec.ExecPolicy` (or :func:`repro.exec.configure` the
+    process-wide default, as the CLI's ``--workers`` does) to fan the
+    seeds out over worker processes and/or resume from checkpoints.
+    Results come back in seed order either way, so summaries are
+    byte-identical across execution modes.
     """
     if n_runs < 1:
         raise ValueError(f"need ≥ 1 run, got {n_runs}")
+    # Imported here: repro.exec sits on top of this module.
+    from repro.exec import run_configs
+
     base = config.seed if base_seed is None else base_seed
-    results = [
-        run_scenario(replace(config, seed=base + k)) for k in range(n_runs)
-    ]
+    configs = [replace(config, seed=base + k) for k in range(n_runs)]
+    results = run_configs(
+        f"replicate-{config.protocol}", configs, policy=policy
+    )
     summary = summarize([r.as_dict() for r in results], level=level)
     return results, summary
