@@ -87,6 +87,59 @@ def bench_channel_dispatch(benchmark):
     benchmark(run)
 
 
+def _mesh_channel(nx: int, spacing_m: float, spatial: bool) -> Channel:
+    sim = Simulator()
+    ch = Channel(sim, TwoRayGround(), propagation_delay=False,
+                 spatial_index=spatial)
+    rs = RandomStreams(1)
+    for i in range(nx * nx):
+        r = Radio(sim, i, PhyConfig(), rs.stream(f"p{i}"))
+        ch.register(r, (spacing_m * (i % nx), spacing_m * (i // nx)))
+    return ch
+
+
+@pytest.mark.parametrize("spatial", [True, False],
+                         ids=["spatial", "exhaustive"])
+def bench_channel_dispatch_cold_n400(benchmark, spatial):
+    """Fresh dispatch plans for all 400 nodes (the post-invalidation cost)."""
+    ch = _mesh_channel(20, 300.0, spatial)
+    power = PhyConfig().tx_power_w
+
+    def run():
+        ch._invalidate_all()
+        for tx in range(400):
+            ch._dispatch_plan(tx, power)
+        return len(ch._dispatch_cache)
+
+    assert benchmark(run) == 400
+
+
+@pytest.mark.parametrize("spatial", [True, False],
+                         ids=["spatial", "exhaustive"])
+def bench_channel_dispatch_mobile_n400(benchmark, spatial):
+    """One node roams a 400-node mesh; every node re-plans each step.
+
+    The spatial path's incremental invalidation keeps plans outside the
+    mover's neighbourhood cached; the exhaustive path rebuilds all 400.
+    """
+    import numpy as np
+
+    ch = _mesh_channel(20, 300.0, spatial)
+    power = PhyConfig().tx_power_w
+    rng = np.random.default_rng(5)
+    for tx in range(400):
+        ch._dispatch_plan(tx, power)
+
+    def run():
+        mover = int(rng.integers(400))
+        ch.set_position(mover, tuple(rng.uniform(0.0, 300.0 * 19, 2)))
+        for tx in range(400):
+            ch._dispatch_plan(tx, power)
+        return len(ch._dispatch_cache)
+
+    assert benchmark(run) == 400
+
+
 def bench_dcf_unicast_exchange(benchmark):
     """100 acknowledged unicast frames between two DCF MACs."""
 

@@ -79,6 +79,9 @@ class ScenarioConfig:
     mac_config: MacConfig = field(default_factory=MacConfig)
     sinr_threshold_db: float = 10.0
     propagation_delay: bool = True
+    #: Spatial-grid channel dispatch (byte-identical to exhaustive; keep
+    #: the flag for A/B determinism verification and perf bisection).
+    spatial_index: bool = True
 
     # Protocol ---------------------------------------------------------- #
     aodv: AodvConfig = field(default_factory=AodvConfig)
@@ -91,6 +94,10 @@ class ScenarioConfig:
     speed_range: tuple[float, float] = (1.0, 5.0)
     pause_s: float = 2.0
     mobility_update_s: float = 0.2
+    #: Fraction of nodes that roam under "rwp" (the highest-index ones);
+    #: the rest stay put — the WMN regime of mobile clients over a static
+    #: router backbone.  1.0 = classic all-nodes random waypoint.
+    mobile_fraction: float = 1.0
 
     # Traffic ----------------------------------------------------------- #
     n_flows: int = 8
@@ -127,6 +134,10 @@ class ScenarioConfig:
             raise ValueError(
                 "random-waypoint mobility needs the real PHY/MAC "
                 "(PerfectMac adjacency is static)"
+            )
+        if not 0.0 < self.mobile_fraction <= 1.0:
+            raise ValueError(
+                f"mobile_fraction must be in (0, 1], got {self.mobile_fraction!r}"
             )
         if self.sim_time_s <= self.warmup_s:
             raise ValueError("sim_time_s must exceed warmup_s")
@@ -314,7 +325,10 @@ def build_network(config: ScenarioConfig) -> Network:
                 propagation, config.shadowing_sigma_db, net.streams
             )
         net.channel = Channel(
-            net.sim, propagation, propagation_delay=config.propagation_delay
+            net.sim,
+            propagation,
+            propagation_delay=config.propagation_delay,
+            spatial_index=config.spatial_index,
         )
         macs = []
         for i in range(n):
@@ -360,10 +374,11 @@ def build_network(config: ScenarioConfig) -> Network:
             )
         else:
             area = config.area_m
+        n_mobile = max(1, round(n * config.mobile_fraction))
         net.mobility = RandomWaypoint(
             net.sim,
             net.channel,
-            list(range(n)),
+            list(range(n - n_mobile, n)),
             area_m=area,
             speed_range=config.speed_range,
             pause_s=config.pause_s,

@@ -8,7 +8,11 @@ gateway still reports a high busy ratio.
 
 The monitor is fed busy/idle *transitions* (from the radio's CCA callback
 chain) and answers ``busy_ratio()`` over a configurable trailing window,
-pruning intervals that age out.  Cost is O(transitions in window).
+pruning intervals that age out.  A running cumulative busy-time sum is
+maintained on every transition/prune, so a query costs O(intervals pruned)
+rather than re-summing the whole window — ``busy_ratio()`` is called per
+HELLO beacon and per NLR forwarding decision, making it a hot path in
+dense networks.
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ class BusyMonitor:
         self.sim = sim
         self.window_s = window_s
         self._intervals: deque[tuple[float, float]] = deque()
+        self._busy_sum = 0.0  # total length of intervals in the deque
         self._busy_since: float | None = None
         self._created = sim.now
 
@@ -52,28 +57,34 @@ class BusyMonitor:
             if self._busy_since is not None:
                 if now > self._busy_since:
                     self._intervals.append((self._busy_since, now))
+                    self._busy_sum += now - self._busy_since
                 self._busy_since = None
         self._prune(now)
 
     def _prune(self, now: float) -> None:
         horizon = now - self.window_s
         while self._intervals and self._intervals[0][1] <= horizon:
-            self._intervals.popleft()
+            start, end = self._intervals.popleft()
+            self._busy_sum -= end - start
 
     def busy_ratio(self) -> float:
         """Busy fraction over the trailing window, in [0, 1]."""
         now = self.sim.now
         self._prune(now)
         horizon = now - self.window_s
-        busy = 0.0
-        for start, end in self._intervals:
-            busy += end - max(start, horizon)
+        busy = self._busy_sum
+        if self._intervals:
+            # Intervals are disjoint and time-ordered, so after pruning at
+            # most the oldest one can straddle the horizon; clip just it.
+            start0 = self._intervals[0][0]
+            if start0 < horizon:
+                busy -= horizon - start0
         if self._busy_since is not None:
             busy += now - max(self._busy_since, horizon)
         # Early in the run the window extends before t=created; normalise
         # by the observed span so start-up does not read artificially idle.
         span = min(self.window_s, max(now - self._created, 1e-12))
-        return min(1.0, busy / span)
+        return min(1.0, max(0.0, busy / span))
 
     @property
     def currently_busy(self) -> bool:

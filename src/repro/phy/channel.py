@@ -1,15 +1,48 @@
 """The shared wireless medium.
 
 One :class:`Channel` instance connects every radio in the network.  A
-transmission is dispatched by evaluating the propagation model once, for
-*all* registered receivers, in a single vectorised numpy expression over the
-``(n, 2)`` position table (the hpc-parallel hot-path rule), then scheduling
+transmission is dispatched by evaluating the propagation model for the
+candidate receivers in a single vectorised numpy expression over the
+position table (the hpc-parallel hot-path rule), then scheduling
 ``rx_start``/``rx_end`` events only at receivers whose power clears a
 tracking cull threshold — signals far too weak to affect carrier sense or
 SINR are never materialised as events.
+
+Spatial index
+-------------
+With ``spatial_index=True`` (the default) the channel maintains a uniform
+cell grid sized from the propagation model's *maximum interference range*
+at the cull threshold (``PropagationModel.max_interference_range``).  The
+grid uses the sorted-cell-key layout from particle simulation: each node's
+cell is packed into one ``int64`` key (``cx·2³¹ + cy``), and an argsorted
+key array turns "all nodes in a row of cells" into a contiguous slice
+found by a single ``searchsorted`` over the row bounds.  A dispatch then
+evaluates propagation only over the nodes in the cell block covering the
+interference range instead of the full ``(n, 2)`` table — with numpy
+doing both the gather and the evaluation, so per-dispatch Python overhead
+stays flat as N grows.
+
+The plan cache is invalidated *incrementally*: each cached plan records
+the cells its candidate block covered (a cell → dependent-plans reverse
+map), so a ``set_position`` on node *i* drops only the plans whose block
+contains *i*'s old or new cell.  Mobility runs therefore keep their plan
+cache for every transmitter outside the mover's neighbourhood — previously
+any move cleared the cache wholesale.
+
+**Determinism contract:** the spatial path is byte-identical to the
+exhaustive path.  Candidate sets are always supersets of the true receiver
+set (cells are sized with a safety margin over the interference range),
+per-receiver powers/delays are element-wise numpy expressions whose values
+do not depend on which other rows share the array, and receivers are
+ordered by position-table index in both paths.  Propagation models that
+cannot bound their reach (log-normal shadowing with ``sigma > 0``) report
+an infinite interference range and the channel silently falls back to
+exhaustive dispatch with wholesale invalidation.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -21,6 +54,27 @@ from repro.sim.errors import SimulationError
 from repro.sim.units import SPEED_OF_LIGHT
 
 __all__ = ["Channel"]
+
+#: Cells per interference range: finer cells tighten the candidate block
+#: (block side is ``(2·reach + 1)·cell`` vs the minimal ``2·range``), at the
+#: cost of more rows per gather.  2 is the classic sweet spot.
+_CELLS_PER_RANGE = 2
+
+#: Relative safety margin applied to the interference range when sizing
+#: cells, so a node sitting exactly on the range boundary can never fall
+#: outside the candidate block through floating-point fuzz.
+_RANGE_MARGIN = 1.0 + 1e-6
+
+#: Linear cell key stride: ``key = cx·_KSTRIDE + cy``.  Collision-free for
+#: ``|cy| < 2³⁰`` and ``|cx| < 2³²`` (int64 headroom), far beyond any
+#: usable arena/cell-size combination.
+_KSTRIDE = 1 << 31
+
+#: Initial capacity of the position/id tables (grown by doubling).
+_INITIAL_CAPACITY = 16
+
+_Plan = tuple[list[Radio], list[float], list[float]]
+_PlanKey = tuple[int, float]  # (tx node id, tx power in watts)
 
 
 class Channel:
@@ -39,6 +93,11 @@ class Channel:
     propagation_delay:
         When True (default) receptions start after distance/c; disabling it
         makes unit tests easier to reason about.
+    spatial_index:
+        When True (default) dispatch and neighbour queries use the cell
+        grid described in the module docstring; when False every query
+        scans the full position table (the exhaustive reference path, kept
+        selectable for A/B determinism verification).
     """
 
     def __init__(
@@ -47,20 +106,45 @@ class Channel:
         propagation: PropagationModel,
         track_threshold_w: float | None = None,
         propagation_delay: bool = True,
+        spatial_index: bool = True,
     ) -> None:
         self.sim = sim
         self.propagation = propagation
         self._track_threshold_w = track_threshold_w
         self.propagation_delay = propagation_delay
+        self.spatial_index = spatial_index
         self._radios: dict[int, Radio] = {}
-        self._ids: np.ndarray = np.empty(0, dtype=int)
-        self._positions: np.ndarray = np.empty((0, 2), dtype=float)
+        self._id2idx: dict[int, int] = {}
+        self._id_buf: np.ndarray = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._pos_buf: np.ndarray = np.empty((_INITIAL_CAPACITY, 2), dtype=float)
+        self._n = 0
         self.transmissions = 0
-        # Static-topology dispatch cache: tx node id → (receiver radios,
+        # Dispatch-plan cache: (tx node id, tx power) → (receiver radios,
         # powers, delays).  Mesh routers rarely move, so the propagation
-        # evaluation is paid once per transmitter; any position change
-        # clears the cache (mobility runs simply forgo the speedup).
-        self._dispatch_cache: dict[int, tuple[list[Radio], list[float], list[float]]] = {}
+        # evaluation is paid once per transmitter; the key includes the tx
+        # power so heterogeneous-power scenarios can never reuse a plan
+        # computed for a different power.
+        self._dispatch_cache: dict[_PlanKey, _Plan] = {}
+        # Spatial grid (built lazily on first query; inactive = exhaustive).
+        self._grid_active = False
+        self._grid_disabled = False  # unbounded propagation reach
+        self._cell_size = 0.0
+        self._reach = 0
+        self._grid_power_w = 0.0
+        self._key_buf: np.ndarray = np.empty(0, dtype=np.int64)
+        self._order: np.ndarray | None = None      # argsort of live keys
+        self._sorted_keys: np.ndarray | None = None
+        # Incremental invalidation, keyed by *centre* cell: every cached
+        # plan is registered under its transmitter's cell only (O(1) to
+        # remember), and a move in cell d invalidates the plans centred in
+        # the block around d — the block is symmetric, so "d is in plan c's
+        # block" and "c is in the block around d" are the same condition.
+        # ``_cell_cands`` shares the gathered candidate arrays between all
+        # transmitters in a cell and is invalidated on the same schedule.
+        self._cell_plans: dict[int, set[_PlanKey]] = {}
+        self._cell_cands: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._block_cache: dict[int, tuple[int, ...]] = {}
+        self._bounds_off: np.ndarray | None = None  # row-bounds template
 
     # ------------------------------------------------------------------ #
     # Registration / positions
@@ -71,33 +155,224 @@ class Channel:
             raise SimulationError(f"node {radio.node_id} already registered")
         self._radios[radio.node_id] = radio
         radio.channel = self
-        self._positions = np.vstack(
-            [self._positions, np.asarray(position, dtype=float)]
-        )
-        self._ids = np.append(self._ids, radio.node_id)
-        self._dispatch_cache.clear()
+        if self._n == len(self._id_buf):
+            self._id_buf = np.concatenate([self._id_buf, np.empty_like(self._id_buf)])
+            self._pos_buf = np.concatenate([self._pos_buf, np.empty_like(self._pos_buf)])
+        idx = self._n
+        self._pos_buf[idx] = position
+        self._id_buf[idx] = radio.node_id
+        self._id2idx[radio.node_id] = idx
+        self._n += 1
+        if not self._grid_active:
+            self._invalidate_all()
+            return
+        if radio.config.tx_power_w > self._grid_power_w:
+            # A stronger transmitter outranges the current cell sizing;
+            # tear the grid down and rebuild lazily at the new maximum.
+            self._teardown_grid()
+            self._invalidate_all()
+            return
+        if self._n > len(self._key_buf):
+            self._key_buf = np.concatenate(
+                [self._key_buf, np.empty(self._n, dtype=np.int64)]
+            )
+        key = self._key_of(position[0], position[1])
+        self._key_buf[idx] = key
+        self._order = None
+        self._invalidate_cells((key,))
+
+    @property
+    def _positions(self) -> np.ndarray:
+        """Live ``(n, 2)`` view of the position table."""
+        return self._pos_buf[: self._n]
+
+    @property
+    def _ids(self) -> np.ndarray:
+        """Live ``(n,)`` view of the node-id table."""
+        return self._id_buf[: self._n]
 
     def position_of(self, node_id: int) -> np.ndarray:
         """Current position of ``node_id`` (copy)."""
-        idx = self._index_of(node_id)
-        return self._positions[idx].copy()
+        return self._pos_buf[self._index_of(node_id)].copy()
 
     def set_position(self, node_id: int, position: tuple[float, float]) -> None:
         """Move a node (mobility models call this)."""
-        idx = self._index_of(node_id)
-        self._positions[idx] = position
-        self._dispatch_cache.clear()
+        self.move_many(((node_id, position),))
+
+    def move_many(
+        self, updates: "list[tuple[int, tuple[float, float]]] | tuple"
+    ) -> None:
+        """Apply a batch of position updates with one invalidation pass.
+
+        Mobility ticks move many nodes back-to-back with no dispatch in
+        between; batching lets overlapping candidate blocks be invalidated
+        once instead of per mover.
+        """
+        if not self._grid_active:
+            moved = False
+            for node_id, position in updates:
+                self._pos_buf[self._index_of(node_id)] = position
+                moved = True
+            if moved and self._dispatch_cache:
+                self._invalidate_all()
+            return
+        touched: set[int] = set()
+        key_buf = self._key_buf
+        for node_id, position in updates:
+            idx = self._index_of(node_id)
+            self._pos_buf[idx] = position
+            old = int(key_buf[idx])
+            new = self._key_of(position[0], position[1])
+            if new != old:
+                key_buf[idx] = new
+                self._order = None
+            # Even an intra-cell move changes every distance to this node,
+            # so plans watching the old cell are stale regardless.
+            touched.add(old)
+            touched.add(new)
+        if touched:
+            self._invalidate_cells(touched)
 
     def _index_of(self, node_id: int) -> int:
-        hits = np.nonzero(self._ids == node_id)[0]
-        if len(hits) == 0:
+        idx = self._id2idx.get(node_id)
+        if idx is None:
             raise SimulationError(f"node {node_id} not registered on channel")
-        return int(hits[0])
+        return idx
 
     @property
     def node_count(self) -> int:
         """Number of registered radios."""
-        return len(self._radios)
+        return self._n
+
+    # ------------------------------------------------------------------ #
+    # Spatial grid
+    # ------------------------------------------------------------------ #
+    def _key_of(self, x: float, y: float) -> int:
+        c = self._cell_size
+        return math.floor(x / c) * _KSTRIDE + math.floor(y / c)
+
+    def _ensure_grid(self) -> bool:
+        """Build the grid if enabled and possible; True when active."""
+        if self._grid_active:
+            return True
+        if not self.spatial_index or self._grid_disabled or self._n == 0:
+            return False
+        pmax = max(r.config.tx_power_w for r in self._radios.values())
+        self._build_grid(pmax)
+        return self._grid_active
+
+    def _build_grid(self, power_w: float) -> None:
+        rng = self.propagation.max_interference_range(
+            power_w, self._cull_threshold()
+        )
+        if not math.isfinite(rng) or rng <= 0.0:
+            self._grid_disabled = True
+            return
+        self._cell_size = rng * _RANGE_MARGIN / _CELLS_PER_RANGE
+        # A node outside the (2·reach+1)² block around the transmitter is
+        # at least reach·cell = range·margin away, hence below the cull
+        # threshold by the max_interference_range contract.
+        self._reach = _CELLS_PER_RANGE
+        self._grid_power_w = power_w
+        if len(self._key_buf) < len(self._id_buf):
+            self._key_buf = np.empty(len(self._id_buf), dtype=np.int64)
+        cells = np.floor(self._pos_buf[: self._n] / self._cell_size)
+        self._key_buf[: self._n] = (
+            cells[:, 0].astype(np.int64) * _KSTRIDE + cells[:, 1].astype(np.int64)
+        )
+        self._order = None
+        self._block_cache.clear()
+        self._cell_cands.clear()
+        # Row-bounds template for the dispatch-reach candidate query: the
+        # block rows of cell k are the key ranges k + _bounds_off[2r..2r+1].
+        reach = self._reach
+        off = np.empty(2 * (2 * reach + 1), dtype=np.int64)
+        for r, dx in enumerate(range(-reach, reach + 1)):
+            off[2 * r] = dx * _KSTRIDE - reach
+            off[2 * r + 1] = dx * _KSTRIDE + reach + 1
+        self._bounds_off = off
+        self._grid_active = True
+
+    def _teardown_grid(self) -> None:
+        self._grid_active = False
+        self._order = None
+        self._block_cache.clear()
+        self._cell_cands.clear()
+
+    def _ensure_order(self) -> None:
+        if self._order is None:
+            keys = self._key_buf[: self._n]
+            self._order = np.argsort(keys, kind="stable")
+            self._sorted_keys = keys[self._order]
+
+    def _candidates(self, center_key: int, reach: int) -> np.ndarray:
+        """Node indices in the cell block around ``center_key``, ascending
+        (= position-table order, which is what the exhaustive path emits).
+
+        One ``searchsorted`` over the per-row key bounds turns the block
+        into ``2·reach + 1`` contiguous slices of the sorted-key layout.
+        """
+        self._ensure_order()
+        span = 2 * reach + 1
+        if reach == self._reach:
+            bounds = center_key + self._bounds_off
+        else:  # neighbour queries with a caller-chosen radius
+            bounds = np.empty(2 * span, dtype=np.int64)
+            base = center_key - reach * _KSTRIDE
+            for r in range(span):
+                bounds[2 * r] = base - reach
+                bounds[2 * r + 1] = base + reach + 1
+                base += _KSTRIDE
+        locs = np.searchsorted(self._sorted_keys, bounds)
+        order = self._order
+        cand = np.concatenate(
+            [order[locs[2 * r]: locs[2 * r + 1]] for r in range(span)]
+        )
+        cand.sort()
+        return cand
+
+    def _block_keys(self, center_key: int, reach: int) -> tuple[int, ...]:
+        """Linear keys of the cells in the block (memoised per centre)."""
+        block = self._block_cache.get(center_key)
+        if block is None:
+            cy = center_key % _KSTRIDE
+            if cy >= _KSTRIDE >> 1:
+                cy -= _KSTRIDE
+            row0 = center_key - cy
+            block = tuple(
+                row0 + dx * _KSTRIDE + cy + dy
+                for dx in range(-reach, reach + 1)
+                for dy in range(-reach, reach + 1)
+            )
+            self._block_cache[center_key] = block
+        return block
+
+    # ------------------------------------------------------------------ #
+    # Incremental invalidation
+    # ------------------------------------------------------------------ #
+    def _invalidate_all(self) -> None:
+        self._dispatch_cache.clear()
+        self._cell_plans.clear()
+        self._cell_cands.clear()
+
+    def _invalidate_cells(self, cells) -> None:
+        """Drop plans and candidate caches affected by changes in ``cells``.
+
+        A plan centred in cell *c* depends on the nodes in the block around
+        *c*; the block is symmetric, so the plans affected by a change in
+        cell *d* are exactly those centred inside the block around *d*.
+        """
+        cell_plans = self._cell_plans
+        cell_cands = self._cell_cands
+        cache = self._dispatch_cache
+        reach = self._reach
+        for d in cells:
+            for c in self._block_keys(d, reach):
+                cell_cands.pop(c, None)
+                plans = cell_plans.pop(c, None)
+                if plans:
+                    for key in plans:
+                        cache.pop(key, None)
 
     # ------------------------------------------------------------------ #
     # Dispatch
@@ -108,44 +383,63 @@ class Channel:
             self._track_threshold_w = cs / 10.0
         return self._track_threshold_w
 
-    def _dispatch_plan(
-        self, tx_node: int, tx_power_w: float
-    ) -> tuple[list[Radio], list[float], list[float]]:
-        """(receivers, rx powers, propagation delays) for ``tx_node``.
-
-        Valid while no node moves and tx power is per-config constant (the
-        cache is keyed by transmitter only; heterogeneous powers would need
-        a (node, power) key — all evaluated scenarios use one power).
-        """
-        plan = self._dispatch_cache.get(tx_node)
+    def _dispatch_plan(self, tx_node: int, tx_power_w: float) -> _Plan:
+        """(receivers, rx powers, propagation delays) for ``tx_node`` at
+        ``tx_power_w``, cached until a position change invalidates it."""
+        key = (tx_node, tx_power_w)
+        plan = self._dispatch_cache.get(key)
         if plan is not None:
             return plan
         tx_idx = self._index_of(tx_node)
-        tx_pos = self._positions[tx_idx]
+        tx_pos = self._pos_buf[tx_idx]
+        use_grid = self._ensure_grid()
+        if use_grid and tx_power_w > self._grid_power_w:
+            # Frame power exceeds what the cells were sized for; resize.
+            self._teardown_grid()
+            self._invalidate_all()
+            self._build_grid(tx_power_w)
+            use_grid = self._grid_active
         if isinstance(self.propagation, LogNormalShadowing):
             self.propagation.set_transmitter(tx_node)
+        center = 0
+        if use_grid:
+            center = int(self._key_buf[tx_idx])
+            cached = self._cell_cands.get(center)
+            if cached is None:
+                cand = self._candidates(center, self._reach)
+                cached = (cand, self._pos_buf[cand], self._id_buf[cand])
+                self._cell_cands[center] = cached
+            cand, pos, ids = cached
+            self_idx = int(np.searchsorted(cand, tx_idx))
+        else:
+            pos = self._positions
+            ids = self._ids
+            self_idx = tx_idx
         powers = np.asarray(
-            self.propagation.rx_power_many(
-                tx_power_w, tx_pos, self._positions, rx_ids=self._ids
-            ),
+            self.propagation.rx_power_many(tx_power_w, tx_pos, pos, rx_ids=ids),
             dtype=float,
         )
         mask = powers >= self._cull_threshold()
-        mask[tx_idx] = False
-        rx_indices = np.nonzero(mask)[0]
+        mask[self_idx] = False
+        rx = np.nonzero(mask)[0]
         if self.propagation_delay:
-            d = np.hypot(
-                self._positions[rx_indices, 0] - tx_pos[0],
-                self._positions[rx_indices, 1] - tx_pos[1],
-            )
+            d = np.hypot(pos[rx, 0] - tx_pos[0], pos[rx, 1] - tx_pos[1])
             delays = d / SPEED_OF_LIGHT
         else:
-            delays = np.zeros(len(rx_indices))
-        receivers = [self._radios[int(self._ids[i])] for i in rx_indices]
+            delays = np.zeros(len(rx))
+        radios = self._radios
+        rx_ids = ids[rx].tolist()
+        receivers = [radios[i] for i in rx_ids]
         # Plain Python floats: avoids numpy scalar types leaking into the
         # radio hot path (and list indexing is faster there anyway).
-        plan = (receivers, powers[rx_indices].tolist(), delays.tolist())
-        self._dispatch_cache[tx_node] = plan
+        plan = (receivers, powers[rx].tolist(), delays.tolist())
+        self._dispatch_cache[key] = plan
+        if use_grid:
+            dependents = self._cell_plans.get(center)
+            if dependents is None:
+                self._cell_plans[center] = {key}
+            else:
+                dependents.add(key)
         return plan
 
     def transmit(self, tx_node: int, frame: PhyFrame) -> None:
@@ -163,7 +457,19 @@ class Channel:
     def neighbors_within(self, node_id: int, radius_m: float) -> list[int]:
         """Node ids within ``radius_m`` of ``node_id`` (excluding itself)."""
         idx = self._index_of(node_id)
-        p = self._positions[idx]
+        p = self._pos_buf[idx]
+        if math.isfinite(radius_m) and radius_m >= 0 and self._ensure_grid():
+            reach = int(math.ceil(radius_m / self._cell_size))
+            # Wide queries (radius ≫ arena) degenerate to a full scan; the
+            # exhaustive path below is then cheaper than walking the rows.
+            if (2 * reach + 1) ** 2 <= 4 * self._n:
+                cand = self._candidates(int(self._key_buf[idx]), reach)
+                pos = self._pos_buf[cand]
+                d = np.hypot(pos[:, 0] - p[0], pos[:, 1] - p[1])
+                mask = d <= radius_m
+                mask[np.searchsorted(cand, idx)] = False
+                ids = self._id_buf
+                return [int(ids[cand[i]]) for i in np.nonzero(mask)[0]]
         d = np.hypot(self._positions[:, 0] - p[0], self._positions[:, 1] - p[1])
         mask = d <= radius_m
         mask[idx] = False

@@ -101,6 +101,22 @@ class PropagationModel(ABC):
                 hi = mid
         return 0.5 * (lo + hi)
 
+    def max_interference_range(
+        self, tx_power_w: float, threshold_w: float
+    ) -> float:
+        """Upper bound on the distance at which a transmission at
+        ``tx_power_w`` can still be received above ``threshold_w``.
+
+        This is the *culling contract* used by the channel's spatial index:
+        any receiver farther than this distance is guaranteed to see less
+        than ``threshold_w`` and may be skipped without evaluating the
+        model.  Deterministic monotone models bound it exactly via
+        :meth:`range_for`; models that cannot bound their reach (e.g.
+        shadowing with unbounded per-link gain) return ``math.inf``, which
+        disables spatial culling and falls back to exhaustive dispatch.
+        """
+        return self.range_for(tx_power_w, threshold_w)
+
 
 class FreeSpace(PropagationModel):
     """Friis free-space model: ``Pr = Pt·Gt·Gr·λ² / ((4πd)²·L)``.
@@ -249,6 +265,16 @@ class LogNormalShadowing(PropagationModel):
     def set_transmitter(self, tx_id: int) -> None:
         """Record the transmitting node id for the next dispatch."""
         self._tx_id = tx_id
+
+    def max_interference_range(
+        self, tx_power_w: float, threshold_w: float
+    ) -> float:
+        """Shadowing gain is an unbounded Gaussian (in dB), so no finite
+        distance guarantees sub-threshold power; report ``inf`` unless the
+        model degenerates to its base (``sigma == 0``)."""
+        if self.sigma_db == 0.0:
+            return self.base.max_interference_range(tx_power_w, threshold_w)
+        return math.inf
 
     def _offset_db(self, a: int, b: int) -> float:
         key = (a, b) if a <= b else (b, a)

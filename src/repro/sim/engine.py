@@ -40,6 +40,14 @@ _TIME, _PRIORITY, _SEQ, _STATE, _FN, _ARGS = range(6)
 # Entry states.
 _PENDING, _FIRED, _CANCELLED = range(3)
 
+# Heap compaction: once at least this many cancelled entries linger *and*
+# they outnumber the live ones, the heap is rebuilt in place.  Rebuilding
+# is O(n) and triggered at most once per Θ(n) cancellations, so the
+# amortised cost per cancel stays O(1) while restart-heavy workloads
+# (ACK/backoff timers re-armed per frame) no longer grow the heap — and
+# every subsequent push/pop gets a log of a much smaller n.
+_COMPACT_MIN_DEAD = 1024
+
 
 class EventHandle:
     """Opaque handle returned by :meth:`Simulator.schedule`.
@@ -48,10 +56,11 @@ class EventHandle:
     the event has either fired or been cancelled.
     """
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_sim")
 
-    def __init__(self, entry: list) -> None:
+    def __init__(self, entry: list, sim: "Simulator | None" = None) -> None:
         self._entry = entry
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -81,6 +90,8 @@ class EventHandle:
         self._entry[_STATE] = _CANCELLED
         self._entry[_FN] = None
         self._entry[_ARGS] = ()
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
 
 class Simulator:
@@ -105,7 +116,7 @@ class Simulator:
     """
 
     __slots__ = ("_now", "_heap", "_seq", "_running", "_stopped",
-                 "_events_executed")
+                 "_events_executed", "_dead")
 
     def __init__(self, start_time: float = 0.0) -> None:
         if not math.isfinite(start_time):
@@ -116,6 +127,7 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_executed = 0
+        self._dead = 0  # cancelled entries still sitting in the heap
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -133,7 +145,7 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still in the queue."""
-        return sum(1 for e in self._heap if e[_STATE] == _PENDING)
+        return len(self._heap) - self._dead
 
     def peek(self) -> float | None:
         """Time of the next live event, or None if the queue is empty."""
@@ -164,7 +176,7 @@ class Simulator:
         entry = [time, priority, self._seq, _PENDING, fn, args]
         self._seq += 1
         heapq.heappush(self._heap, entry)
-        return EventHandle(entry)
+        return EventHandle(entry, self)
 
     def schedule_in(
         self,
@@ -199,6 +211,7 @@ class Simulator:
             while heap and not self._stopped and budget > 0:
                 entry = pop(heap)
                 if entry[_STATE] == _CANCELLED:
+                    self._dead -= 1
                     continue
                 if entry[_TIME] > until:
                     # Put it back for a later run() call; advance to bound.
@@ -236,9 +249,26 @@ class Simulator:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`EventHandle.cancel`; triggers lazy compaction."""
+        self._dead += 1
+        if (
+            self._dead >= _COMPACT_MIN_DEAD
+            and self._dead * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        # In-place so a run() loop holding a reference to the heap list
+        # keeps seeing the compacted queue.
+        self._heap[:] = [e for e in self._heap if e[_STATE] == _PENDING]
+        heapq.heapify(self._heap)
+        self._dead = 0
+
     def _drop_dead_head(self) -> None:
         while self._heap and self._heap[0][_STATE] == _CANCELLED:
             heapq.heappop(self._heap)
+            self._dead -= 1
 
     def drain(self) -> Iterator[tuple[float, Callable[..., None], tuple]]:
         """Remove and yield remaining live events as ``(time, fn, args)``
@@ -247,6 +277,8 @@ class Simulator:
             entry = heapq.heappop(self._heap)
             if entry[_STATE] == _PENDING:
                 yield (entry[_TIME], entry[_FN], entry[_ARGS])
+            else:
+                self._dead -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -97,6 +97,9 @@ class RandomWaypoint:
     def _tick(self) -> None:
         dt = self._proc.period
         now = self.sim.now
+        # Batch the whole tick's moves into one channel update so the
+        # dispatch-cache invalidation pass runs once per tick, not per node.
+        moves: list[tuple[int, tuple[float, float]]] = []
         for nid in self.node_ids:
             target, speed, pause_until = self._state[nid]
             if now < pause_until:
@@ -106,12 +109,14 @@ class RandomWaypoint:
             dist = float(np.hypot(*delta))
             step = speed * dt
             if dist <= step:
-                self.channel.set_position(nid, (float(target[0]), float(target[1])))
+                moves.append((nid, (float(target[0]), float(target[1]))))
                 nxt = self._new_leg()
                 self._state[nid] = (nxt[0], nxt[1], now + self.pause_s)
             else:
                 newpos = pos + delta * (step / dist)
-                self.channel.set_position(nid, (float(newpos[0]), float(newpos[1])))
+                moves.append((nid, (float(newpos[0]), float(newpos[1]))))
+        if moves:
+            self.channel.move_many(moves)
 
     def speed_of(self, node_id: int) -> float:
         """Current leg speed of ``node_id`` (m/s)."""

@@ -43,6 +43,20 @@ class TestScenarioConfig:
                 "nlr-queue", "nlr-busy", "nlr-own", "nlr-noprob",
                 "nlr-noselect"} <= set(PROTOCOLS)
 
+    def test_mobile_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(mobile_fraction=0.0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(mobile_fraction=1.5)
+
+    def test_mobile_fraction_selects_highest_ids(self):
+        # 9 nodes at 25% mobile → the last round(9·0.25) = 2 roam, the
+        # rest are the static mesh backbone.
+        net = build_network(tiny(mobility="rwp", mobile_fraction=0.25))
+        assert net.mobility.node_ids == [7, 8]
+        net = build_network(tiny(mobility="rwp"))
+        assert net.mobility.node_ids == list(range(9))
+
 
 class TestBuildNetwork:
     def test_grid_build(self):

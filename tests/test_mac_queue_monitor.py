@@ -129,3 +129,30 @@ class TestBusyMonitor:
     def test_invalid_window(self):
         with pytest.raises(ValueError):
             BusyMonitor(Simulator(), window_s=0.0)
+
+    def test_running_sum_matches_naive_recompute(self):
+        # The O(1) cumulative-sum query must agree with re-summing the
+        # deque over a long, irregular transition stream.
+        import numpy as np
+
+        sim = Simulator()
+        m = BusyMonitor(sim, window_s=0.5)
+        rng = np.random.default_rng(21)
+        t, busy = 0.0, False
+        for _ in range(500):
+            t += float(rng.uniform(0.001, 0.2))
+            busy = not busy
+            sim.schedule(t, m.on_medium_state, busy)
+            sim.schedule(t + 1e-4, self._check_against_naive, m)
+        sim.run()
+
+    @staticmethod
+    def _check_against_naive(m):
+        now = m.sim.now
+        horizon = now - m.window_s
+        naive = sum(e - max(s, horizon) for s, e in m._intervals)
+        if m._busy_since is not None:
+            naive += now - max(m._busy_since, horizon)
+        span = min(m.window_s, max(now - m._created, 1e-12))
+        naive_ratio = min(1.0, max(0.0, naive / span))
+        assert m.busy_ratio() == pytest.approx(naive_ratio, abs=1e-12)

@@ -1,0 +1,246 @@
+"""Spatial-grid channel dispatch: grid mechanics, incremental
+invalidation, and byte-identity with the exhaustive reference path."""
+
+import json
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import ScenarioConfig
+from repro.phy.channel import _KSTRIDE, Channel
+from repro.phy.propagation import (
+    FreeSpace,
+    LogNormalShadowing,
+    TwoRayGround,
+)
+from repro.phy.radio import PhyConfig, Radio
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def _make_channel(positions, spatial_index=True, node_ids=None, phy=None):
+    sim = Simulator()
+    ch = Channel(sim, TwoRayGround(), propagation_delay=True,
+                 spatial_index=spatial_index)
+    rs = RandomStreams(7)
+    ids = node_ids if node_ids is not None else range(len(positions))
+    for nid, pos in zip(ids, positions):
+        r = Radio(sim, nid, phy or PhyConfig(), rs.stream(f"p{nid}"))
+        ch.register(r, tuple(pos))
+    return ch
+
+
+def _random_layout(n, extent, seed):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, extent, size=(n, 2))
+
+
+def _plan_signature(ch, tx, power):
+    receivers, powers, delays = ch._dispatch_plan(tx, power)
+    return ([r.node_id for r in receivers], powers, delays)
+
+
+class TestPlanEquivalence:
+    """Spatial and exhaustive dispatch agree bit-for-bit."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_static_plans_identical(self, seed):
+        pos = _random_layout(60, 3000.0, seed)
+        spatial = _make_channel(pos, spatial_index=True)
+        exact = _make_channel(pos, spatial_index=False)
+        p = PhyConfig().tx_power_w
+        for tx in range(60):
+            ids_s, pw_s, dl_s = _plan_signature(spatial, tx, p)
+            ids_e, pw_e, dl_e = _plan_signature(exact, tx, p)
+            assert ids_s == ids_e
+            assert pw_s == pw_e  # exact float equality, not approx
+            assert dl_s == dl_e
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_plans_identical_under_moves(self, seed):
+        rng = np.random.default_rng(seed)
+        pos = _random_layout(40, 2500.0, seed)
+        spatial = _make_channel(pos, spatial_index=True)
+        exact = _make_channel(pos, spatial_index=False)
+        p = PhyConfig().tx_power_w
+        for step in range(30):
+            tx = int(rng.integers(40))
+            assert _plan_signature(spatial, tx, p) == _plan_signature(exact, tx, p)
+            mover = int(rng.integers(40))
+            new = tuple(rng.uniform(-200.0, 2700.0, size=2))
+            spatial.set_position(mover, new)
+            exact.set_position(mover, new)
+            assert _plan_signature(spatial, mover, p) == _plan_signature(exact, mover, p)
+
+    def test_neighbors_within_identical(self):
+        pos = _random_layout(80, 2000.0, 9)
+        spatial = _make_channel(pos, spatial_index=True)
+        exact = _make_channel(pos, spatial_index=False)
+        for nid in range(0, 80, 7):
+            for radius in (0.0, 55.5, 250.0, 900.0, 1e4):
+                assert spatial.neighbors_within(nid, radius) == \
+                    exact.neighbors_within(nid, radius)
+
+    def test_shadowing_falls_back_to_exhaustive(self):
+        sim = Simulator()
+        rs = RandomStreams(5)
+        prop = LogNormalShadowing(TwoRayGround(), 4.0, rs)
+        ch = Channel(sim, prop, spatial_index=True)
+        for i in range(9):
+            ch.register(Radio(sim, i, PhyConfig(), rs.stream(f"p{i}")),
+                        (300.0 * (i % 3), 300.0 * (i // 3)))
+        ch._dispatch_plan(4, PhyConfig().tx_power_w)
+        assert not ch._grid_active and ch._grid_disabled
+        # zero-sigma shadowing degenerates to the base model: grid allowed
+        assert math.isfinite(
+            LogNormalShadowing(TwoRayGround(), 0.0, rs).max_interference_range(
+                0.28, 1e-12
+            )
+        )
+
+
+class TestGridMechanics:
+    def test_colocated_nodes_share_a_cell(self):
+        pos = [(100.0, 100.0)] * 4 + [(900.0, 900.0)]
+        ch = _make_channel(pos)
+        assert ch._ensure_grid()
+        cells = {int(ch._key_buf[i]) for i in range(4)}
+        assert len(cells) == 1
+        assert sorted(ch.neighbors_within(0, 1.0)) == [1, 2, 3]
+
+    def test_boundary_and_negative_coordinates(self):
+        ch = _make_channel([(0.0, 0.0), (500.0, 0.0)])
+        assert ch._ensure_grid()
+        c = ch._cell_size
+        # Exactly on a cell edge, and in negative space.
+        ch.register(
+            Radio(ch.sim, 7, PhyConfig(), RandomStreams(3).stream("x")),
+            (c, -c),
+        )
+        assert int(ch._key_buf[ch._index_of(7)]) == 1 * _KSTRIDE + (-1)
+        exact = _make_channel(
+            [(0.0, 0.0), (500.0, 0.0), (c, -c)], spatial_index=False,
+            node_ids=[0, 1, 7],
+        )
+        for nid in (0, 1, 7):
+            assert ch.neighbors_within(nid, 800.0) == \
+                exact.neighbors_within(nid, 800.0)
+
+    def test_radius_larger_than_arena(self):
+        pos = _random_layout(25, 400.0, 11)
+        spatial = _make_channel(pos)
+        exact = _make_channel(pos, spatial_index=False)
+        assert spatial.neighbors_within(3, 1e6) == exact.neighbors_within(3, 1e6)
+        assert set(spatial.neighbors_within(3, 1e6)) == set(range(25)) - {3}
+
+    def test_move_updates_grid_membership(self):
+        ch = _make_channel([(0.0, 0.0), (100.0, 0.0)])
+        assert ch._ensure_grid()
+        far = 50 * ch._cell_size
+        ch.set_position(1, (far, far))
+        idx = ch._index_of(1)
+        assert int(ch._key_buf[idx]) == ch._key_of(far, far)
+        assert ch.neighbors_within(0, 200.0) == []
+        ch.set_position(1, (100.0, 0.0))
+        assert ch.neighbors_within(0, 200.0) == [1]
+
+    def test_register_after_grid_build_is_queryable(self):
+        ch = _make_channel([(0.0, 0.0), (200.0, 0.0)])
+        p = PhyConfig().tx_power_w
+        ch._dispatch_plan(0, p)  # builds grid + caches a plan
+        ch.register(
+            Radio(ch.sim, 9, PhyConfig(), RandomStreams(4).stream("x")),
+            (100.0, 0.0),
+        )
+        ids, _, _ = _plan_signature(ch, 0, p)
+        assert 9 in ids  # the stale 2-node plan was invalidated
+
+
+class TestIncrementalInvalidation:
+    def test_far_move_keeps_unrelated_plans(self):
+        # Two clusters far apart: a move in one must not evict the other's
+        # cached plan.
+        pos = [(0.0, 0.0), (150.0, 0.0), (50_000.0, 0.0), (50_150.0, 0.0)]
+        ch = _make_channel(pos)
+        p = PhyConfig().tx_power_w
+        ch._dispatch_plan(0, p)
+        ch._dispatch_plan(2, p)
+        assert len(ch._dispatch_cache) == 2
+        ch.set_position(3, (50_140.0, 10.0))
+        assert (0, p) in ch._dispatch_cache      # far cluster untouched
+        assert (2, p) not in ch._dispatch_cache  # mover's neighbourhood stale
+
+    def test_near_move_invalidates_dependent_plan(self):
+        pos = [(0.0, 0.0), (150.0, 0.0), (400.0, 0.0)]
+        ch = _make_channel(pos)
+        p = PhyConfig().tx_power_w
+        before = _plan_signature(ch, 0, p)
+        ch.set_position(1, (151.0, 0.0))  # intra-neighbourhood (maybe intra-cell)
+        after = _plan_signature(ch, 0, p)
+        assert before[0] == after[0]
+        assert before[1] != after[1]  # rx power at node 1 changed
+
+    def test_heterogeneous_power_keys_do_not_alias(self):
+        pos = [(0.0, 0.0), (150.0, 0.0)]
+        ch = _make_channel(pos)
+        p = PhyConfig().tx_power_w
+        _, pw_lo, _ = ch._dispatch_plan(0, p)
+        _, pw_hi, _ = ch._dispatch_plan(0, p / 2)
+        assert (0, p) in ch._dispatch_cache and (0, p / 2) in ch._dispatch_cache
+        assert pw_hi[0] == pytest.approx(pw_lo[0] / 2)
+
+    def test_power_above_grid_sizing_rebuilds(self):
+        pos = [(0.0, 0.0), (150.0, 0.0)]
+        ch = _make_channel(pos)
+        p = PhyConfig().tx_power_w
+        ch._dispatch_plan(0, p)
+        sized = ch._grid_power_w
+        ch._dispatch_plan(0, 4 * p)
+        assert ch._grid_power_w == 4 * p > sized
+
+    def test_move_many_batches(self):
+        pos = _random_layout(30, 2000.0, 13)
+        spatial = _make_channel(pos)
+        exact = _make_channel(pos, spatial_index=False)
+        rng = np.random.default_rng(17)
+        p = PhyConfig().tx_power_w
+        for _ in range(5):
+            updates = [
+                (int(nid), tuple(rng.uniform(0.0, 2000.0, size=2)))
+                for nid in rng.integers(30, size=6)
+            ]
+            spatial.move_many(updates)
+            exact.move_many(updates)
+            for tx in range(0, 30, 5):
+                assert _plan_signature(spatial, tx, p) == \
+                    _plan_signature(exact, tx, p)
+
+
+def _result_blob(config: ScenarioConfig) -> str:
+    r = run_scenario(config)
+    blob = dict(r.as_dict())
+    blob["per_node_forwarded"] = r.per_node_forwarded.tolist()
+    blob["packets_sent"] = r.packets_sent
+    blob["packets_received"] = r.packets_received
+    blob["events_executed"] = r.events_executed
+    blob["totals"] = r.totals
+    return json.dumps(blob, sort_keys=True)
+
+
+class TestCrossPathDeterminism:
+    """run_scenario is byte-identical with the spatial index on and off."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("mobility", ["static", "rwp"])
+    def test_run_scenario_identical(self, seed, mobility):
+        base = ScenarioConfig(
+            protocol="nlr", grid_nx=3, grid_ny=3, n_flows=2,
+            flow_rate_pps=4.0, sim_time_s=6.0, warmup_s=1.0, seed=seed,
+            mobility=mobility, speed_range=(2.0, 8.0), pause_s=0.5,
+        )
+        spatial = _result_blob(replace(base, spatial_index=True))
+        exact = _result_blob(replace(base, spatial_index=False))
+        assert spatial == exact

@@ -205,3 +205,77 @@ class TestRunControl:
         sim.schedule(1.0, nested)
         with pytest.raises(SchedulingError):
             sim.run()
+
+
+class TestHeapCompaction:
+    """Cancelled entries are reclaimed once they dominate the heap."""
+
+    def test_heap_shrinks_under_cancel_churn(self):
+        from repro.sim.engine import _COMPACT_MIN_DEAD
+
+        sim = Simulator()
+        keeper = sim.schedule(1e9, lambda: None)
+        for k in range(4 * _COMPACT_MIN_DEAD):
+            sim.schedule(1.0 + k * 1e-9, lambda: None).cancel()
+        # Without compaction the heap would hold ~4·threshold dead entries.
+        assert len(sim._heap) < 2 * _COMPACT_MIN_DEAD
+        assert sim.pending == 1
+        assert not keeper.expired
+
+    def test_order_preserved_across_compaction(self):
+        from repro.sim.engine import _COMPACT_MIN_DEAD
+
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "late")
+        sim.schedule(3.0, fired.append, "early")
+        sim.schedule(3.0, fired.append, "early2")  # FIFO tie
+        for _ in range(2 * _COMPACT_MIN_DEAD):
+            sim.schedule(1.0, lambda: None).cancel()
+        sim.run()
+        assert fired == ["early", "early2", "late"]
+
+    def test_cancel_during_run_is_safe(self):
+        from repro.sim.engine import _COMPACT_MIN_DEAD
+
+        sim = Simulator()
+        fired = []
+        handles = [
+            sim.schedule(2.0 + k * 1e-9, lambda: None)
+            for k in range(2 * _COMPACT_MIN_DEAD)
+        ]
+
+        def mass_cancel():
+            for h in handles:
+                h.cancel()  # triggers compaction while run() is popping
+
+        sim.schedule(1.0, mass_cancel)
+        sim.schedule(3.0, fired.append, "after")
+        sim.run()
+        assert fired == ["after"]
+        assert sim.pending == 0
+
+    def test_pending_stays_exact(self):
+        sim = Simulator()
+        hs = [sim.schedule(float(k + 1), lambda: None) for k in range(10)]
+        assert sim.pending == 10
+        for h in hs[::2]:
+            h.cancel()
+        assert sim.pending == 5
+        sim.run(until=3.0)
+        assert sim.pending == sum(
+            1 for h in hs if not h.expired
+        )
+
+    def test_timer_restart_churn_bounded_heap(self):
+        from repro.sim.engine import _COMPACT_MIN_DEAD
+        from repro.sim.process import Timer
+
+        sim = Simulator()
+        t = Timer(sim, lambda: None)
+        for _ in range(10 * _COMPACT_MIN_DEAD):
+            t.restart(1.0)
+        assert len(sim._heap) < 2 * _COMPACT_MIN_DEAD
+        t.cancel()
+        sim.run()
+        assert sim.pending == 0
