@@ -1,0 +1,24 @@
+"""Regenerate the resilience figure — delivery and recovery under churn.
+
+Chaos extension: a Poisson relay-crash process (repro.faults) runs inside
+every cell; the figure tracks PDR and steady-state recovery time versus
+crash rate for NLR/AODV/gossip.
+"""
+
+from repro.experiments.figures import figure_resilience
+
+from benchmarks.conftest import regenerate
+
+
+def bench_figure_resilience(benchmark):
+    result = regenerate(benchmark, figure_resilience)
+    by_rate = {row[0]: row for row in result.rows}
+    rates = sorted(by_rate)
+    pdr_cols = [
+        i for i, h in enumerate(result.headers) if h.endswith("_pdr")
+    ]
+    # The fault-free baseline delivers essentially everything; the highest
+    # churn rate visibly degrades every scheme.
+    for col in pdr_cols:
+        assert by_rate[rates[0]][col] > 0.97
+        assert by_rate[rates[-1]][col] < by_rate[rates[0]][col]

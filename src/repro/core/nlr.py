@@ -171,6 +171,16 @@ class NlrRouting(AodvRouting):
     def _route_cost(self, hop_count: int, path_load: float) -> float:
         return path_load + self.nlr_config.hop_weight * hop_count
 
+    def _handle_link_failure(self, neighbour: int, packet: Packet) -> None:
+        # A MAC-reported failure is proof the neighbour is gone *now*:
+        # besides invalidating routes (engine behaviour), drop its
+        # neighbourhood-load record, or the dead node's stale advertised
+        # load keeps biasing this node's aggregate — and hence every RREQ
+        # cost it stamps — for up to neighbour_lifetime_s.
+        if self.neighbour_table is not None:
+            self.neighbour_table.drop(neighbour)
+        super()._handle_link_failure(neighbour, packet)
+
     def _process_duplicate_rreq(
         self, packet: Packet, from_node: int, arrived_cost: float
     ) -> None:

@@ -75,6 +75,8 @@ def collect_result(net: Network, wallclock_s: float = 0.0) -> ScenarioResult:
     config = net.config
     collector = net.collector
     totals = network_totals(net.stacks)
+    if net.resilience is not None:
+        totals.update(net.resilience.totals())
     span = config.sim_time_s - config.warmup_s
     per_node = forwarding_load(net.protocols)
     return ScenarioResult(

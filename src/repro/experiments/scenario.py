@@ -21,6 +21,12 @@ import networkx as nx
 import numpy as np
 
 from repro.core.nlr import NlrConfig, NlrRouting
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    ResilienceCollector,
+    plan_from_spec,
+)
 from repro.net.dsdv import DsdvConfig, DsdvRouting
 from repro.mac.csma import CsmaMac, MacConfig
 from repro.mac.perfect import PerfectMac, PerfectMacNetwork
@@ -109,6 +115,15 @@ class ScenarioConfig:
     flow_start_s: float = 1.0
     flow_stagger_s: float = 0.5
 
+    # Faults ------------------------------------------------------------ #
+    #: Declarative fault spec expanded at build time by
+    #: :func:`repro.faults.plan_from_spec` (JSON-able, so chaos campaigns
+    #: hash into exec cells like any other parameter).  ``None`` = healthy.
+    fault_spec: dict | None = None
+    #: Concrete :class:`~repro.faults.FaultPlan` (programmatic use; also
+    #: serialisable).  Mutually exclusive with ``fault_spec``.
+    fault_plan: FaultPlan | None = None
+
     # Measurement ------------------------------------------------------- #
     sim_time_s: float = 60.0
     warmup_s: float = 5.0
@@ -141,6 +156,15 @@ class ScenarioConfig:
             )
         if self.sim_time_s <= self.warmup_s:
             raise ValueError("sim_time_s must exceed warmup_s")
+        if self.fault_spec is not None and self.fault_plan is not None:
+            raise ValueError("give fault_spec or fault_plan, not both")
+        if (
+            self.fault_spec is not None or self.fault_plan is not None
+        ) and self.mac != "csma":
+            raise ValueError(
+                "fault injection needs the real PHY/MAC (mac='csma'); "
+                "PerfectMac has no radio or channel to fail"
+            )
 
     @property
     def node_count(self) -> int:
@@ -250,6 +274,8 @@ class Network:
         self.collector = FlowStatsCollector(
             measure_from_s=config.warmup_s, measure_until_s=config.sim_time_s
         )
+        self.injector: FaultInjector | None = None
+        self.resilience: ResilienceCollector | None = None
 
     @property
     def protocols(self) -> list[RoutingProtocol]:
@@ -257,20 +283,26 @@ class Network:
         return [s.routing for s in self.stacks]
 
     def start(self) -> None:
-        """Start mobility, protocol timers, and traffic sources."""
+        """Start mobility, protocol timers, traffic sources, and faults."""
         self.mobility.start()
         for stack in self.stacks:
             stack.start()
         for source in self.sources:
             source.start()
+        if self.injector is not None:
+            self.injector.start()
 
     def stop(self) -> None:
-        """Stop traffic sources, protocol timers, and mobility."""
+        """Stop faults, traffic sources, protocol timers, and mobility."""
+        if self.injector is not None:
+            self.injector.stop()
         for source in self.sources:
             source.stop()
         for stack in self.stacks:
             stack.stop()
         self.mobility.stop()
+        if self.resilience is not None:
+            self.resilience.finalize(self.sim.now)
 
 
 def _positions_for(config: ScenarioConfig, streams: RandomStreams) -> np.ndarray:
@@ -388,32 +420,61 @@ def build_network(config: ScenarioConfig) -> Network:
 
     # --- Traffic -------------------------------------------------------- #
     net.flows = _flows_for(config, net, net.streams)
+
+    # Shared observation hooks: the flow-stats collector always listens;
+    # the resilience collector (created below, after flows exist) is
+    # resolved dynamically so sink/source wiring order doesn't matter.
+    def _on_deliver(p, _sim=net.sim) -> None:
+        net.collector.on_receive(p, now=_sim.now)
+        if net.resilience is not None:
+            net.resilience.on_receive(p, now=_sim.now)
+
+    def _on_send(p) -> None:
+        net.collector.on_send(p)
+        if net.resilience is not None:
+            net.resilience.on_send(p)
+
     for stack in net.stacks:
-        net.sinks.append(
-            PacketSink(
-                stack,
-                on_receive=lambda p, _sim=net.sim: net.collector.on_receive(
-                    p, now=_sim.now
-                ),
-            )
-        )
+        net.sinks.append(PacketSink(stack, on_receive=_on_deliver))
     for flow in net.flows:
         stack = net.stacks[flow.src]
         if config.traffic == "cbr":
             src: Source = CbrSource(
-                net.sim, stack, flow, on_send=net.collector.on_send
+                net.sim, stack, flow, on_send=_on_send
             )
         elif config.traffic == "poisson":
             src = PoissonSource(
                 net.sim, stack, flow,
                 net.streams.stream(f"traffic.flow.{flow.flow_id}"),
-                on_send=net.collector.on_send,
+                on_send=_on_send,
             )
         else:
             src = OnOffSource(
                 net.sim, stack, flow,
                 net.streams.stream(f"traffic.flow.{flow.flow_id}"),
-                on_send=net.collector.on_send,
+                on_send=_on_send,
             )
         net.sources.append(src)
+
+    # --- Faults --------------------------------------------------------- #
+    plan = config.fault_plan
+    if plan is None and config.fault_spec is not None:
+        plan = plan_from_spec(
+            config.fault_spec,
+            streams=net.streams,
+            node_count=n,
+            sim_time_s=config.sim_time_s,
+        )
+    if plan is not None and plan.events:
+        stacks = net.stacks
+
+        def _control_total() -> float:
+            return float(
+                sum(sum(s.routing.control_tx.values()) for s in stacks)
+            )
+
+        net.resilience = ResilienceCollector(
+            net.flows, control_counter=_control_total
+        )
+        net.injector = FaultInjector(net, plan, collector=net.resilience)
     return net

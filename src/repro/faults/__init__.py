@@ -1,0 +1,42 @@
+"""Declarative fault injection and resilience metrics.
+
+Compose a :class:`FaultPlan` (or expand one from a JSON-able spec via
+:func:`plan_from_spec` / the stochastic generators), bind it to a built
+network with :class:`FaultInjector`, and read recovery behaviour off the
+:class:`ResilienceCollector`.  The scenario layer wires all three from
+``ScenarioConfig(fault_spec=...)`` / ``fault_plan=...``; see
+``docs/PROTOCOLS.md`` §"Fault model".
+"""
+
+from repro.faults.events import (
+    FaultEvent,
+    FaultPlan,
+    LinkDegrade,
+    NodeCrash,
+    NodeRecover,
+    QueueSaturate,
+    RadioFlap,
+    RegionBlackout,
+    flapping,
+    plan_from_spec,
+    poisson_crashes,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.metrics import FaultEpisode, ResilienceCollector
+
+__all__ = [
+    "FaultEvent",
+    "FaultEpisode",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkDegrade",
+    "NodeCrash",
+    "NodeRecover",
+    "QueueSaturate",
+    "RadioFlap",
+    "RegionBlackout",
+    "ResilienceCollector",
+    "flapping",
+    "plan_from_spec",
+    "poisson_crashes",
+]

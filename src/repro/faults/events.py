@@ -1,0 +1,499 @@
+"""Declarative fault events, plans, and stochastic plan generators.
+
+A :class:`FaultPlan` is a list of typed fault events describing *what goes
+wrong and when*, independent of any particular network instance — the
+:class:`~repro.faults.injector.FaultInjector` binds a plan to a built
+network and schedules it on the sim engine.  Keeping the plan declarative
+makes chaos campaigns first-class experiment cells: a plan round-trips
+through JSON (``to_dict``/``from_dict``), travels inside
+:class:`~repro.experiments.scenario.ScenarioConfig`, and therefore hashes
+into the parallel executor's content-addressed task ids like any other
+parameter.
+
+Event types and the layer each one perturbs:
+
+==================  ====================================================
+:class:`NodeCrash`   whole stack down (routing silenced, MAC flushed,
+                     radio off) until a matching :class:`NodeRecover`
+:class:`RadioFlap`   duty-cycled PHY outages — the radio powers off/on
+                     periodically while MAC state and queue survive
+:class:`LinkDegrade` extra path loss on one node pair via the channel's
+                     link-impairment hook (PHY perturbation)
+:class:`QueueSaturate` background broadcast noise injected straight into
+                     one node's MAC queue (link-layer load burst)
+:class:`RegionBlackout` every node inside a disc crashes for a duration
+                     (correlated spatial failure)
+==================  ====================================================
+
+Stochastic generators (:func:`poisson_crashes`, :func:`flapping`) expand a
+few parameters into concrete plans; they draw from a caller-provided RNG
+so a scenario's :class:`~repro.sim.rng.RandomStreams` makes the expansion
+— and hence the whole chaos run — seed-deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, ClassVar, Iterable, Sequence
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "LinkDegrade",
+    "NodeCrash",
+    "NodeRecover",
+    "QueueSaturate",
+    "RadioFlap",
+    "RegionBlackout",
+    "flapping",
+    "plan_from_spec",
+    "poisson_crashes",
+]
+
+
+@dataclass(slots=True, frozen=True)
+class NodeCrash:
+    """Node ``node`` fails completely at ``at_s`` (stack down, radio off)."""
+
+    node: int
+    at_s: float
+
+    KIND: ClassVar[str] = "node_crash"
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"node id must be ≥ 0, got {self.node}")
+        if self.at_s < 0:
+            raise ValueError(f"event time must be ≥ 0, got {self.at_s!r}")
+
+
+@dataclass(slots=True, frozen=True)
+class NodeRecover:
+    """Node ``node`` comes back up at ``at_s`` (no-op unless crashed)."""
+
+    node: int
+    at_s: float
+
+    KIND: ClassVar[str] = "node_recover"
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"node id must be ≥ 0, got {self.node}")
+        if self.at_s < 0:
+            raise ValueError(f"event time must be ≥ 0, got {self.at_s!r}")
+
+
+@dataclass(slots=True, frozen=True)
+class RadioFlap:
+    """Duty-cycled radio outages on ``node``.
+
+    Each period starting at ``start_s`` keeps the radio ON for
+    ``duty_on × period_s`` then OFF for the rest; toggling stops at
+    ``until_s`` (the radio is always restored at the end).  MAC state and
+    the interface queue survive — queued frames burn through the retry
+    path while the radio is dark, surfacing link failures to routing.
+    """
+
+    node: int
+    start_s: float
+    period_s: float
+    duty_on: float
+    until_s: float
+
+    KIND: ClassVar[str] = "radio_flap"
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"node id must be ≥ 0, got {self.node}")
+        if self.start_s < 0:
+            raise ValueError(f"start must be ≥ 0, got {self.start_s!r}")
+        if self.period_s <= 0:
+            raise ValueError(f"period must be positive, got {self.period_s!r}")
+        if not 0.0 < self.duty_on < 1.0:
+            raise ValueError(
+                f"duty_on must be in (0, 1), got {self.duty_on!r}"
+            )
+        if self.until_s <= self.start_s:
+            raise ValueError("until_s must be after start_s")
+        if (self.until_s - self.start_s) / self.period_s > 100_000:
+            raise ValueError("flap would schedule > 100k toggles; check period")
+
+
+@dataclass(slots=True, frozen=True)
+class LinkDegrade:
+    """Extra path loss on the ``node_a`` ↔ ``node_b`` link for a window.
+
+    Applied symmetrically through the channel's per-pair impairment hook;
+    ``extra_loss_db`` of 40+ dB effectively severs the link without
+    touching either radio.
+    """
+
+    node_a: int
+    node_b: int
+    start_s: float
+    duration_s: float
+    extra_loss_db: float
+
+    KIND: ClassVar[str] = "link_degrade"
+
+    def __post_init__(self) -> None:
+        if self.node_a < 0 or self.node_b < 0:
+            raise ValueError("node ids must be ≥ 0")
+        if self.node_a == self.node_b:
+            raise ValueError(f"link needs two distinct nodes, got {self.node_a}")
+        if self.start_s < 0:
+            raise ValueError(f"start must be ≥ 0, got {self.start_s!r}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_s!r}")
+        if self.extra_loss_db <= 0:
+            raise ValueError(
+                f"extra loss must be positive dB, got {self.extra_loss_db!r}"
+            )
+
+
+@dataclass(slots=True, frozen=True)
+class QueueSaturate:
+    """Background broadcast noise pushed into ``node``'s MAC queue.
+
+    Models a misbehaving/greedy application: ``rate_pps`` broadcast frames
+    of ``payload_bytes`` each for ``duration_s``, entering the interface
+    queue directly (no routing, no control-byte accounting) so the queue
+    fills and the neighbourhood's airtime is consumed.
+    """
+
+    node: int
+    start_s: float
+    duration_s: float
+    rate_pps: float = 200.0
+    payload_bytes: int = 512
+
+    KIND: ClassVar[str] = "queue_saturate"
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"node id must be ≥ 0, got {self.node}")
+        if self.start_s < 0:
+            raise ValueError(f"start must be ≥ 0, got {self.start_s!r}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_s!r}")
+        if self.rate_pps <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate_pps!r}")
+        if self.payload_bytes <= 0:
+            raise ValueError(f"payload must be positive, got {self.payload_bytes}")
+
+
+@dataclass(slots=True, frozen=True)
+class RegionBlackout:
+    """Every node within ``radius_m`` of the centre crashes for a window.
+
+    Victims are resolved from node positions *at the start time* (so
+    mobility matters), and only nodes this event actually took down are
+    recovered when it lifts — independently crashed nodes keep their own
+    schedule.
+    """
+
+    center_x: float
+    center_y: float
+    radius_m: float
+    start_s: float
+    duration_s: float
+
+    KIND: ClassVar[str] = "region_blackout"
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0:
+            raise ValueError(f"radius must be positive, got {self.radius_m!r}")
+        if self.start_s < 0:
+            raise ValueError(f"start must be ≥ 0, got {self.start_s!r}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_s!r}")
+
+
+FaultEvent = (
+    NodeCrash | NodeRecover | RadioFlap | LinkDegrade | QueueSaturate
+    | RegionBlackout
+)
+
+_EVENT_TYPES: dict[str, type] = {
+    cls.KIND: cls
+    for cls in (
+        NodeCrash, NodeRecover, RadioFlap, LinkDegrade, QueueSaturate,
+        RegionBlackout,
+    )
+}
+
+
+def _start_time(event: FaultEvent) -> float:
+    return event.at_s if isinstance(event, (NodeCrash, NodeRecover)) else event.start_s
+
+
+def _nodes_of(event: FaultEvent) -> tuple[int, ...]:
+    if isinstance(event, (NodeCrash, NodeRecover, RadioFlap, QueueSaturate)):
+        return (event.node,)
+    if isinstance(event, LinkDegrade):
+        return (event.node_a, event.node_b)
+    return ()  # RegionBlackout resolves victims spatially at apply time
+
+
+@dataclass(slots=True)
+class FaultPlan:
+    """An ordered collection of fault events.
+
+    Events are kept in insertion order; :meth:`sorted_events` yields them
+    by start time (stable), which is the order the injector schedules.
+    """
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for ev in self.events:
+            if type(ev) not in _EVENT_TYPES.values():
+                raise ValueError(f"not a fault event: {ev!r}")
+
+    def add(self, *events: FaultEvent) -> "FaultPlan":
+        """Append events; returns self for chaining."""
+        for ev in events:
+            if type(ev) not in _EVENT_TYPES.values():
+                raise ValueError(f"not a fault event: {ev!r}")
+            self.events.append(ev)
+        return self
+
+    def merged(self, other: "FaultPlan") -> "FaultPlan":
+        """New plan holding this plan's events followed by ``other``'s."""
+        return FaultPlan(list(self.events) + list(other.events))
+
+    def sorted_events(self) -> list[FaultEvent]:
+        """Events by start time (stable on ties)."""
+        return sorted(self.events, key=_start_time)
+
+    def kinds(self) -> set[str]:
+        """Distinct event kinds present in the plan."""
+        return {ev.KIND for ev in self.events}
+
+    def validate(self, node_count: int) -> None:
+        """Check every referenced node id exists in an n-node network."""
+        for ev in self.events:
+            for node in _nodes_of(ev):
+                if node >= node_count:
+                    raise ValueError(
+                        f"{ev.KIND} references node {node} but the network "
+                        f"has only {node_count} nodes"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # JSON round-trip (kind-tagged; survives config serialisation)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict; each event carries its ``kind`` tag."""
+        return {
+            "events": [
+                {
+                    "kind": ev.KIND,
+                    **{
+                        f.name: getattr(ev, f.name)
+                        for f in dataclasses.fields(ev)
+                    },
+                }
+                for ev in self.events
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        """Rebuild a plan written by :meth:`to_dict`; unknown kinds and
+        unknown keys are rejected loudly (stale specs fail fast)."""
+        events: list[FaultEvent] = []
+        for entry in data.get("events", []):
+            entry = dict(entry)
+            kind = entry.pop("kind", None)
+            ev_cls = _EVENT_TYPES.get(kind)
+            if ev_cls is None:
+                raise ValueError(
+                    f"unknown fault event kind {kind!r}; choose from "
+                    f"{sorted(_EVENT_TYPES)}"
+                )
+            field_names = {f.name for f in dataclasses.fields(ev_cls)}
+            unknown = set(entry) - field_names
+            if unknown:
+                raise ValueError(
+                    f"unknown {ev_cls.__name__} keys: {sorted(unknown)}"
+                )
+            events.append(ev_cls(**entry))
+        return cls(events)
+
+
+# ---------------------------------------------------------------------- #
+# Stochastic generators
+# ---------------------------------------------------------------------- #
+def poisson_crashes(
+    rate_per_s: float,
+    mttr_s: float,
+    *,
+    nodes: Iterable[int],
+    rng: Any,
+    start_s: float = 0.0,
+    stop_s: float,
+) -> FaultPlan:
+    """Poisson crash process over ``nodes`` with exponential repair.
+
+    Crash arrivals form a Poisson process of network-wide intensity
+    ``rate_per_s`` on ``[start_s, stop_s)``; each crash picks a uniform
+    victim among the currently-up nodes' pool and schedules recovery after
+    an Exp(``mttr_s``) outage.  A victim drawn while still down is skipped
+    (the arrival is consumed), keeping the expansion deterministic for a
+    given ``rng`` state.
+    """
+    if rate_per_s <= 0:
+        raise ValueError(f"crash rate must be positive, got {rate_per_s!r}")
+    if mttr_s <= 0:
+        raise ValueError(f"mttr must be positive, got {mttr_s!r}")
+    if stop_s <= start_s:
+        raise ValueError("stop_s must be after start_s")
+    pool = list(nodes)
+    if not pool:
+        raise ValueError("need at least one crashable node")
+    events: list[FaultEvent] = []
+    down_until: dict[int, float] = {}
+    t = start_s
+    while True:
+        t += float(rng.exponential(1.0 / rate_per_s))
+        if t >= stop_s:
+            break
+        victim = int(pool[int(rng.integers(0, len(pool)))])
+        if down_until.get(victim, -math.inf) > t:
+            continue  # victim still down; the arrival fizzles
+        recover_at = t + float(rng.exponential(mttr_s))
+        down_until[victim] = recover_at
+        events.append(NodeCrash(node=victim, at_s=t))
+        events.append(NodeRecover(node=victim, at_s=recover_at))
+    return FaultPlan(events)
+
+
+def flapping(
+    nodes: Iterable[int],
+    period_s: float,
+    duty_on: float,
+    *,
+    start_s: float = 0.0,
+    stop_s: float,
+) -> FaultPlan:
+    """One :class:`RadioFlap` per node, phase-staggered across the period.
+
+    Staggering (node *k* starts ``k·period/n`` late) avoids every radio
+    dying at the same instant, which would be a synchronized blackout
+    rather than flapping.
+    """
+    pool = list(nodes)
+    if not pool:
+        raise ValueError("need at least one flapping node")
+    events: list[FaultEvent] = []
+    for k, node in enumerate(pool):
+        phase = (k * period_s) / len(pool)
+        if start_s + phase >= stop_s:
+            continue
+        events.append(
+            RadioFlap(
+                node=int(node),
+                start_s=start_s + phase,
+                period_s=period_s,
+                duty_on=duty_on,
+                until_s=stop_s,
+            )
+        )
+    return FaultPlan(events)
+
+
+# ---------------------------------------------------------------------- #
+# Declarative spec → plan expansion
+# ---------------------------------------------------------------------- #
+def _spec_keys(spec: dict[str, Any], required: set[str], optional: set[str]) -> None:
+    keys = set(spec) - {"kind"}
+    missing = required - keys
+    if missing:
+        raise ValueError(
+            f"fault spec {spec.get('kind')!r} missing keys: {sorted(missing)}"
+        )
+    unknown = keys - required - optional
+    if unknown:
+        raise ValueError(
+            f"unknown fault spec keys for {spec.get('kind')!r}: {sorted(unknown)}"
+        )
+
+
+def plan_from_spec(
+    spec: dict[str, Any],
+    *,
+    streams: Any,
+    node_count: int,
+    sim_time_s: float,
+) -> FaultPlan:
+    """Expand a JSON-able fault spec into a concrete :class:`FaultPlan`.
+
+    Spec kinds:
+
+    * ``{"kind": "events", "events": [...]}`` — a literal plan
+      (:meth:`FaultPlan.from_dict` layout);
+    * ``{"kind": "poisson_crashes", "rate_per_s": r, "mttr_s": m,
+      ["start_s", "stop_s", "nodes"]}`` — stochastic crashes seeded from
+      the scenario's ``"faults.plan"`` random stream;
+    * ``{"kind": "flapping", "period_s": p, "duty_on": d,
+      ["start_s", "stop_s", "nodes"]}`` — deterministic staggered flaps;
+    * ``{"kind": "compound", "specs": [...]}`` — merge of sub-specs.
+
+    ``streams`` is the scenario's :class:`~repro.sim.rng.RandomStreams`;
+    drawing from a dedicated named stream keeps fault expansion from
+    perturbing traffic/MAC/PHY randomness, so adding faults to a scenario
+    leaves the fault-free portion of the run bit-identical.
+    """
+    if not isinstance(spec, dict):
+        raise ValueError(f"fault spec must be a dict, got {type(spec).__name__}")
+    kind = spec.get("kind")
+    if kind == "events":
+        _spec_keys(spec, required={"events"}, optional=set())
+        plan = FaultPlan.from_dict(spec)
+    elif kind == "compound":
+        _spec_keys(spec, required={"specs"}, optional=set())
+        plan = FaultPlan()
+        for sub in spec["specs"]:
+            plan = plan.merged(
+                plan_from_spec(
+                    sub, streams=streams, node_count=node_count,
+                    sim_time_s=sim_time_s,
+                )
+            )
+    elif kind == "poisson_crashes":
+        _spec_keys(
+            spec,
+            required={"rate_per_s", "mttr_s"},
+            optional={"start_s", "stop_s", "nodes"},
+        )
+        plan = poisson_crashes(
+            spec["rate_per_s"],
+            spec["mttr_s"],
+            nodes=spec.get("nodes") or range(node_count),
+            rng=streams.stream("faults.plan"),
+            start_s=spec.get("start_s", 0.0),
+            stop_s=spec.get("stop_s", sim_time_s),
+        )
+    elif kind == "flapping":
+        _spec_keys(
+            spec,
+            required={"period_s", "duty_on"},
+            optional={"start_s", "stop_s", "nodes"},
+        )
+        plan = flapping(
+            spec.get("nodes") or range(node_count),
+            spec["period_s"],
+            spec["duty_on"],
+            start_s=spec.get("start_s", 0.0),
+            stop_s=spec.get("stop_s", sim_time_s),
+        )
+    else:
+        raise ValueError(
+            f"unknown fault spec kind {kind!r}; choose from "
+            "['compound', 'events', 'flapping', 'poisson_crashes']"
+        )
+    plan.validate(node_count)
+    return plan

@@ -133,6 +133,7 @@ class CsmaMac:
         radio.rx_callback = self._on_phy_rx
         radio.cca_callback = self._on_cca
         radio.tx_done_callback = self._on_tx_done
+        radio.tx_abort_callback = self._on_tx_abort
 
         self._state = _ContendState.IDLE
         self._current: MacFrame | None = None
@@ -186,6 +187,39 @@ class CsmaMac:
     def restart(self) -> None:
         """Bring a shut-down MAC back (node recovery)."""
         self.radio.set_power_state(True)
+
+    def radio_off(self) -> None:
+        """Power the radio down, keeping MAC state and the queue intact
+        (transient PHY outage — radio flapping; contrast :meth:`shutdown`,
+        which models a full node crash).  Frames attempted while the radio
+        is dark burn through the normal retry/drop path, surfacing link
+        failures to the network layer exactly as a real dead transceiver
+        would."""
+        self.radio.set_power_state(False)
+
+    def radio_on(self) -> None:
+        """Power the radio back up and resume contention for queued work."""
+        if self.radio.powered:
+            return
+        self.radio.set_power_state(True)
+        if self._state is _ContendState.IDLE:
+            self._next_frame()
+        elif self._state is _ContendState.WAIT_IDLE and not self._medium_busy():
+            self._start_difs()
+
+    def _on_tx_abort(self) -> None:
+        """The radio powered off with our frame on the air.
+
+        ``tx_done_callback`` will never fire for that frame, so without
+        this hook the MAC would deadlock in TX_RTS/TX_DATA.  Responder
+        frames (ACK/CTS) need no follow-up; ``None`` means :meth:`shutdown`
+        already cleared the MAC and the abort is moot.  Our own RTS/DATA is
+        charged as a failed attempt through the normal retry path.
+        """
+        kind, self._tx_kind = self._tx_kind, None
+        if kind in ("ack", "cts", None):
+            return
+        self._on_response_timeout()
 
     # ------------------------------------------------------------------ #
     # Cross-layer signals

@@ -100,6 +100,11 @@ class AodvConfig:
     #: — the mechanism by which NLR re-evaluates paths as load shifts.
     #: Intermediate hops always refresh (no mid-path expiry losses).
     origin_refresh_on_use: bool = True
+    #: Maximum RERR originations per second (RFC 3561 §6.11 limits a node
+    #: to RERR_RATELIMIT = 10).  Without it a crashed next hop on a busy
+    #: flow triggers one RERR per queued data packet — an RERR storm that
+    #: drowns the very repair traffic the network needs.  0 disables.
+    rerr_rate_limit_per_s: int = 10
 
     def __post_init__(self) -> None:
         if self.active_route_timeout_s <= 0:
@@ -110,6 +115,8 @@ class AodvConfig:
             raise ValueError("rreq ttl must be ≥ 1")
         if self.dest_reply_wait_s < 0:
             raise ValueError("dest reply wait must be ≥ 0")
+        if self.rerr_rate_limit_per_s < 0:
+            raise ValueError("rerr rate limit must be ≥ 0 (0 disables)")
         if self.expanding_ring and not (
             0 < self.ttl_start <= self.ttl_threshold <= self.rreq_ttl
             and self.ttl_increment > 0
@@ -187,6 +194,8 @@ class AodvRouting(RoutingProtocol):
         self.discoveries_failed = 0
         self.data_dropped_link = 0
         self.data_dropped_buffer = 0
+        self.rerr_suppressed = 0
+        self._rerr_times: list[float] = []
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -337,6 +346,11 @@ class AodvRouting(RoutingProtocol):
 
     def _discovery_timeout(self, disc: _Discovery) -> None:
         disc.timer = None
+        if self._discoveries.get(disc.dst) is not disc:
+            # The discovery was completed (or replaced) in the same tick
+            # this timer fired — e.g. an RREP and the timeout landing at
+            # the exact same timestamp during failure churn.
+            return
         if self.table.lookup(disc.dst) is not None:
             # Route appeared without us noticing a flush (e.g. via an
             # overheard RREP) — complete the discovery.
@@ -356,7 +370,7 @@ class AodvRouting(RoutingProtocol):
             self.tracer.record(
                 self.sim.now, "net", self.node_id, "discovery_failed", dst=disc.dst
             )
-            del self._discoveries[disc.dst]
+            self._discoveries.pop(disc.dst, None)
             self._drop_buffer(disc.dst)
 
     def _discovery_succeeded(self, dst: int) -> None:
@@ -705,6 +719,19 @@ class AodvRouting(RoutingProtocol):
             self._send_rerr(unreachable)
 
     def _send_rerr(self, unreachable: list[tuple[int, int]]) -> None:
+        limit = self.config.rerr_rate_limit_per_s
+        if limit > 0:
+            now = self.sim.now
+            window = self._rerr_times
+            while window and window[0] <= now - 1.0:
+                window.pop(0)
+            if len(window) >= limit:
+                # RFC 3561 §6.11 RERR_RATELIMIT: drop the origination; the
+                # information is advisory and neighbours re-learn from the
+                # next data-plane failure once the window drains.
+                self.rerr_suppressed += 1
+                return
+            window.append(now)
         packet = Packet(
             kind=PacketKind.RERR,
             src=self.node_id,

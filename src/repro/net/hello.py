@@ -82,6 +82,15 @@ class NeighbourTable:
         if neighbour_count is not None:
             n.neighbour_count = neighbour_count
 
+    def drop(self, node_id: int) -> None:
+        """Remove ``node_id`` immediately, without waiting for expiry.
+
+        Called on MAC-reported link failures: the neighbour is provably
+        unreachable *now*, so its record (and any advertised load riding on
+        it) must not linger for up to ``lifetime_s``.
+        """
+        self._table.pop(node_id, None)
+
     def _expire(self) -> None:
         horizon = self.sim.now - self.lifetime_s
         stale = [nid for nid, n in self._table.items() if n.last_heard < horizon]

@@ -154,11 +154,15 @@ class Radio:
         self._impinging_w = 0.0
         self._current: _Reception | None = None
         self._tx_frame: PhyFrame | None = None
+        self._tx_end_handle: Any = None
         self._cca_busy = False
 
         self.rx_callback: Callable[[Any, RxInfo], None] | None = None
         self.cca_callback: Callable[[bool], None] | None = None
         self.tx_done_callback: Callable[[], None] | None = None
+        #: Called when a power-off tears down an in-flight transmission
+        #: (``tx_done_callback`` will never fire for that frame).
+        self.tx_abort_callback: Callable[[], None] | None = None
         #: Observer of radio state transitions (energy metering); called
         #: with the new state after each change.
         self.state_listener: Callable[[RadioState], None] | None = None
@@ -200,11 +204,17 @@ class Radio:
     def set_power_state(self, on: bool) -> None:
         """Power the radio on/off (failure injection).
 
-        Powering off aborts any in-progress reception, clears impinging
-        signal tracking, and makes the radio deaf and mute: arriving
-        signals are ignored and :meth:`transmit` raises.  Powering back on
-        restores a clean IDLE radio (frames already in flight toward it
-        were lost — their ``rx_end`` events are ignored as unknown).
+        Powering off aborts any in-progress reception *and* transmission,
+        clears impinging signal tracking, and makes the radio deaf and
+        mute: arriving signals are ignored and :meth:`transmit` raises.
+        A torn-down transmission cancels its pending ``tx_end`` event (so
+        it can never complete a later frame early) and reports through
+        ``tx_abort_callback`` — ``tx_done_callback`` will not fire.
+        Receivers still hear the truncated energy the channel already
+        scheduled; their receptions fail through the normal SINR path.
+        Powering back on restores a clean IDLE radio (frames already in
+        flight toward it were lost — their ``rx_end`` events are ignored
+        as unknown).
         """
         if on == self.powered:
             return
@@ -212,12 +222,24 @@ class Radio:
         if not on:
             if self._current is not None:
                 self._abort_current("powered_off")
+            tx_aborted = self._tx_frame is not None
+            if tx_aborted:
+                self.tracer.record(
+                    self.sim.now, "phy", self.node_id, "tx_abort",
+                    uid=self._tx_frame.uid, reason="powered_off",
+                )
+                self._tx_frame = None
+                if self._tx_end_handle is not None:
+                    if not self._tx_end_handle.expired:
+                        self._tx_end_handle.cancel()
+                    self._tx_end_handle = None
             self._set_state(RadioState.IDLE)
-            self._tx_frame = None
             self._ignore_rx_end.update(self._arriving)
             self._arriving.clear()
             self._impinging_w = 0.0
             self._update_cca()
+            if tx_aborted and self.tx_abort_callback is not None:
+                self.tx_abort_callback()
         self.tracer.record(
             self.sim.now, "phy", self.node_id,
             "power_on" if on else "power_off",
@@ -244,15 +266,16 @@ class Radio:
             uid=frame.uid, bits=frame.bits, dur=frame.duration_s,
         )
         self.channel.transmit(self.node_id, frame)
-        self.sim.schedule_in(frame.duration_s, self._tx_end)
+        self._tx_end_handle = self.sim.schedule_in(frame.duration_s, self._tx_end)
         self._update_cca()
 
     def _tx_end(self) -> None:
+        self._tx_end_handle = None
         if self._tx_frame is None:
             return  # transmission was torn down (power-off) mid-air
         self.tracer.record(
             self.sim.now, "phy", self.node_id, "tx_end",
-            uid=self._tx_frame.uid if self._tx_frame else -1,
+            uid=self._tx_frame.uid,
         )
         self._tx_frame = None
         self._set_state(RadioState.IDLE)

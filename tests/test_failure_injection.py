@@ -3,8 +3,16 @@
 import pytest
 
 from repro.experiments.scenario import ScenarioConfig, build_network
-from repro.phy.radio import RadioState
+from repro.phy.channel import Channel
+from repro.phy.frame import PhyFrame
+from repro.phy.propagation import TwoRayGround
+from repro.phy.radio import PhyConfig, Radio, RadioState
+from repro.sim.engine import Simulator
 from repro.sim.errors import SimulationError
+from repro.sim.rng import RandomStreams
+
+#: The whole module is part of the CI chaos suite (seed-swept).
+pytestmark = pytest.mark.chaos
 
 
 def build(protocol="aodv", **kw):
@@ -63,6 +71,100 @@ class TestRadioPowerState:
         radio.set_power_state(True)
         radio.set_power_state(True)
         assert radio.powered
+
+
+class TestMidFlightPowerOff:
+    """Regression: powering off mid-reception/transmission must abort the
+    in-flight frame cleanly — no stale ``tx_end``, no MAC deadlock."""
+
+    def _pair(self):
+        sim = Simulator()
+        channel = Channel(sim, TwoRayGround())
+        streams = RandomStreams(3)
+        radios = []
+        for i in range(2):
+            r = Radio(sim, i, PhyConfig(), streams.stream(f"phy.rx.{i}"))
+            channel.register(r, (i * 100.0, 0.0))
+            radios.append(r)
+        return sim, radios
+
+    @staticmethod
+    def _frame(payload, node):
+        # 8000 bits at 1 Mb/s, no preamble: exactly 8 ms of airtime.
+        return PhyFrame(payload=payload, bits=8000, rate_bps=1e6,
+                        preamble_s=0.0, tx_power_w=0.28, tx_node=node)
+
+    def test_power_off_mid_tx_aborts_cleanly(self):
+        sim, (tx, _rx) = self._pair()
+        done, aborted = [], []
+        tx.tx_done_callback = lambda: done.append(sim.now)
+        tx.tx_abort_callback = lambda: aborted.append(sim.now)
+        sim.schedule(1.0, tx.transmit, self._frame("x", 0))
+        sim.schedule(1.004, tx.set_power_state, False)  # mid-air
+        sim.run(until=1.1)
+        assert aborted == [1.004]
+        assert done == []  # tx_done must never fire for the torn-down frame
+        assert tx.state is RadioState.IDLE
+        assert tx._tx_frame is None and tx._tx_end_handle is None
+
+    def test_stale_tx_end_cannot_complete_new_frame(self):
+        # Power-cycle mid-TX, then start a NEW 8 ms frame.  The aborted
+        # frame's tx_end (1.008, were it not cancelled) must not complete
+        # the new frame 4 ms early.
+        sim, (tx, _rx) = self._pair()
+        done = []
+        tx.tx_done_callback = lambda: done.append(sim.now)
+        sim.schedule(1.0, tx.transmit, self._frame("a", 0))
+
+        def cycle():
+            tx.set_power_state(False)
+            tx.set_power_state(True)
+            tx.transmit(self._frame("b", 0))  # ends at 1.012
+
+        sim.schedule(1.004, cycle)
+        sim.run(until=1.1)
+        assert done == [pytest.approx(1.012)]
+
+    def test_power_off_mid_rx_aborts_reception(self):
+        sim, (tx, rx) = self._pair()
+        got = []
+        rx.rx_callback = lambda payload, info: got.append(payload)
+        sim.schedule(1.0, tx.transmit, self._frame("x", 0))
+        sim.schedule(1.004, rx.set_power_state, False)  # mid-reception
+        sim.run(until=1.1)
+        assert got == []
+        assert rx.state is RadioState.IDLE and rx._current is None
+        # power back on: the next frame decodes normally
+        rx.set_power_state(True)
+        sim.schedule(2.0, tx.transmit, self._frame("y", 0))
+        sim.run(until=2.1)
+        assert got == ["y"]
+
+    def test_mac_survives_power_off_during_own_tx(self):
+        # Catch the source MAC mid-transmission, kill the radio under it,
+        # restore it, and require the flow to keep delivering — the old
+        # bug left the MAC waiting forever on a tx_done that never came.
+        net = build()
+        net.start()
+        mac = net.stacks[0].mac
+        caught = []
+
+        def poll():
+            if caught:
+                return
+            if mac.radio.state is RadioState.TX:
+                caught.append(net.sim.now)
+                mac.radio_off()
+                net.sim.schedule_in(0.5, mac.radio_on)
+            else:
+                net.sim.schedule_in(0.0005, poll)
+
+        net.sim.schedule(2.0, poll)
+        net.sim.run(until=30.0)
+        net.stop()
+        assert caught, "poller never saw an active transmission"
+        rec = net.collector.flows[0]
+        assert rec.last_rx > caught[0] + 1.0  # traffic resumed afterwards
 
 
 class TestNodeCrashOnChain:

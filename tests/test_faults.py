@@ -1,0 +1,404 @@
+"""Tests for the declarative fault-injection subsystem (repro.faults).
+
+The ``chaos``-marked tests are the CI failure-injection suite: the workflow
+re-runs them under several seeds via ``REPRO_CHAOS_SEED``, so they must
+hold for *any* seed, not one golden value.
+"""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import ScenarioConfig, build_network
+from repro.experiments.serialization import config_from_dict, config_to_dict
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkDegrade,
+    NodeCrash,
+    NodeRecover,
+    QueueSaturate,
+    RadioFlap,
+    RegionBlackout,
+    flapping,
+    plan_from_spec,
+    poisson_crashes,
+)
+from repro.sim.rng import RandomStreams
+
+#: CI varies this across jobs; locally it defaults to 1.
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1"))
+
+
+def full_plan() -> FaultPlan:
+    """A plan exercising every event kind (node ids fit a 3×3 grid)."""
+    return FaultPlan([
+        NodeCrash(node=1, at_s=3.0),
+        NodeRecover(node=1, at_s=6.0),
+        RadioFlap(node=2, start_s=2.0, period_s=2.0, duty_on=0.5, until_s=8.0),
+        LinkDegrade(node_a=3, node_b=4, start_s=4.0, duration_s=3.0,
+                    extra_loss_db=40.0),
+        QueueSaturate(node=5, start_s=2.0, duration_s=4.0, rate_pps=50.0),
+        RegionBlackout(center_x=0.0, center_y=0.0, radius_m=50.0,
+                       start_s=7.0, duration_s=2.0),
+    ])
+
+
+# ---------------------------------------------------------------------- #
+# Plan construction + JSON round-trip
+# ---------------------------------------------------------------------- #
+class TestFaultPlan:
+    def test_round_trip_through_json(self):
+        plan = full_plan()
+        wire = json.loads(json.dumps(plan.to_dict()))
+        assert FaultPlan.from_dict(wire) == plan
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault event kind"):
+            FaultPlan.from_dict({"events": [{"kind": "meteor", "node": 0}]})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown NodeCrash keys"):
+            FaultPlan.from_dict(
+                {"events": [{"kind": "node_crash", "node": 0, "at_s": 1.0,
+                             "severity": 9}]}
+            )
+
+    def test_validate_rejects_out_of_range_node(self):
+        plan = FaultPlan([NodeCrash(node=7, at_s=1.0)])
+        with pytest.raises(ValueError, match="references node 7"):
+            plan.validate(4)
+
+    def test_sorted_events_by_start_time(self):
+        plan = full_plan()
+        times = [getattr(ev, "at_s", None) or getattr(ev, "start_s", None)
+                 for ev in plan.sorted_events()]
+        assert times == sorted(times)
+
+    def test_kinds(self):
+        assert full_plan().kinds() == {
+            "node_crash", "node_recover", "radio_flap", "link_degrade",
+            "queue_saturate", "region_blackout",
+        }
+
+    @pytest.mark.parametrize("bad", [
+        lambda: NodeCrash(node=-1, at_s=0.0),
+        lambda: RadioFlap(node=0, start_s=0.0, period_s=1.0, duty_on=1.5,
+                          until_s=5.0),
+        lambda: RadioFlap(node=0, start_s=5.0, period_s=1.0, duty_on=0.5,
+                          until_s=5.0),
+        lambda: LinkDegrade(node_a=1, node_b=1, start_s=0.0, duration_s=1.0,
+                            extra_loss_db=10.0),
+        lambda: LinkDegrade(node_a=0, node_b=1, start_s=0.0, duration_s=1.0,
+                            extra_loss_db=-3.0),
+        lambda: QueueSaturate(node=0, start_s=0.0, duration_s=0.0),
+        lambda: RegionBlackout(center_x=0, center_y=0, radius_m=0.0,
+                               start_s=0.0, duration_s=1.0),
+    ])
+    def test_event_validation(self, bad):
+        with pytest.raises(ValueError):
+            bad()
+
+
+# ---------------------------------------------------------------------- #
+# Stochastic generators + spec expansion
+# ---------------------------------------------------------------------- #
+class TestGenerators:
+    def test_poisson_deterministic_per_seed(self):
+        def gen(seed):
+            rng = RandomStreams(seed).stream("faults.plan")
+            return poisson_crashes(
+                0.5, 4.0, nodes=range(9), rng=rng, stop_s=60.0
+            )
+
+        assert gen(42) == gen(42)
+        assert gen(42) != gen(43)
+
+    def test_poisson_crash_recover_pairing(self):
+        rng = RandomStreams(7).stream("faults.plan")
+        plan = poisson_crashes(0.5, 4.0, nodes=range(9), rng=rng, stop_s=60.0)
+        crashes = [e for e in plan.events if isinstance(e, NodeCrash)]
+        recovers = [e for e in plan.events if isinstance(e, NodeRecover)]
+        assert crashes and len(crashes) == len(recovers)
+        # No node is crashed twice while still down.
+        down_until: dict[int, float] = {}
+        for ev in plan.sorted_events():
+            if isinstance(ev, NodeCrash):
+                assert down_until.get(ev.node, -1.0) <= ev.at_s
+            elif isinstance(ev, NodeRecover):
+                down_until[ev.node] = ev.at_s
+
+    def test_flapping_staggers_phases(self):
+        plan = flapping(range(4), period_s=4.0, duty_on=0.5, stop_s=20.0)
+        starts = sorted(e.start_s for e in plan.events)
+        assert starts == [0.0, 1.0, 2.0, 3.0]
+
+    def test_spec_unknown_kind_and_keys(self):
+        streams = RandomStreams(1)
+        with pytest.raises(ValueError, match="unknown fault spec kind"):
+            plan_from_spec({"kind": "nope"}, streams=streams,
+                           node_count=4, sim_time_s=10.0)
+        with pytest.raises(ValueError, match="missing keys"):
+            plan_from_spec({"kind": "poisson_crashes", "rate_per_s": 1.0},
+                           streams=streams, node_count=4, sim_time_s=10.0)
+        with pytest.raises(ValueError, match="unknown fault spec keys"):
+            plan_from_spec(
+                {"kind": "flapping", "period_s": 1.0, "duty_on": 0.5,
+                 "color": "red"},
+                streams=streams, node_count=4, sim_time_s=10.0,
+            )
+
+    def test_compound_spec_merges(self):
+        streams = RandomStreams(3)
+        plan = plan_from_spec(
+            {"kind": "compound", "specs": [
+                {"kind": "flapping", "period_s": 2.0, "duty_on": 0.5,
+                 "nodes": [0]},
+                {"kind": "poisson_crashes", "rate_per_s": 0.3, "mttr_s": 3.0},
+            ]},
+            streams=streams, node_count=4, sim_time_s=30.0,
+        )
+        assert "radio_flap" in plan.kinds()
+        assert "node_crash" in plan.kinds()
+
+
+# ---------------------------------------------------------------------- #
+# Injector behaviour on live networks
+# ---------------------------------------------------------------------- #
+def grid_config(**kw) -> ScenarioConfig:
+    defaults = dict(
+        protocol="aodv", grid_nx=3, grid_ny=3, spacing_m=200.0,
+        n_flows=2, flow_rate_pps=10.0, sim_time_s=15.0, warmup_s=1.0,
+        seed=CHAOS_SEED,
+    )
+    defaults.update(kw)
+    return ScenarioConfig(**defaults)
+
+
+class TestInjector:
+    def test_requires_real_mac(self):
+        with pytest.raises(ValueError, match="needs the real PHY/MAC"):
+            grid_config(mac="perfect",
+                        fault_plan=FaultPlan([NodeCrash(node=0, at_s=1.0)]))
+
+    def test_spec_and_plan_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            grid_config(
+                fault_spec={"kind": "flapping", "period_s": 1.0,
+                            "duty_on": 0.5},
+                fault_plan=FaultPlan([NodeCrash(node=0, at_s=1.0)]),
+            )
+
+    @pytest.mark.chaos
+    def test_compound_plan_never_raises(self):
+        # ≥ 3 fault kinds live in one run; acceptance: faults surface as
+        # metrics, never exceptions, and the guard counter stays clean.
+        net = build_network(grid_config(fault_plan=full_plan().merged(
+            FaultPlan([NodeCrash(node=0, at_s=5.0)])  # crash a flow endpoint
+        )))
+        assert net.injector is not None and net.resilience is not None
+        net.start()
+        net.sim.run(until=15.0)
+        net.stop()
+        assert net.injector.errors == 0
+        assert net.injector.applied > 0
+        totals = net.resilience.totals()
+        assert totals["resilience_faults"] > 0
+        assert totals["resilience_episodes"] > 0
+
+    @pytest.mark.chaos
+    def test_replay_is_byte_identical(self):
+        spec = {"kind": "compound", "specs": [
+            {"kind": "poisson_crashes", "rate_per_s": 0.2, "mttr_s": 3.0,
+             "start_s": 2.0, "stop_s": 12.0},
+            {"kind": "flapping", "period_s": 3.0, "duty_on": 0.6,
+             "nodes": [4]},
+        ]}
+
+        def run():
+            net = build_network(grid_config(fault_spec=spec))
+            net.start()
+            net.sim.run(until=15.0)
+            net.stop()
+            assert net.injector is not None and net.injector.errors == 0
+            assert net.resilience is not None
+            return net.resilience.summary_json()
+
+        assert run() == run()
+
+    def test_link_degrade_severs_chain(self):
+        # 80 dB of extra loss on the only link of a 2-node chain: delivery
+        # must pause for the degrade window and resume after restore.
+        plan = FaultPlan([LinkDegrade(node_a=0, node_b=1, start_s=4.0,
+                                      duration_s=4.0, extra_loss_db=80.0)])
+        net = build_network(ScenarioConfig(
+            protocol="aodv", topology="chain", n_nodes=2, spacing_m=150.0,
+            n_flows=1, flow_rate_pps=20.0, sim_time_s=12.0, warmup_s=1.0,
+            seed=5, fault_plan=plan,
+        ))
+        net.start()
+        net.sim.run(until=12.0)
+        net.stop()
+        assert net.resilience is not None
+        rx_times = [t for times in net.resilience._rx.values() for t in times]
+        assert any(t < 4.0 for t in rx_times)          # healthy before
+        assert not [t for t in rx_times if 4.5 < t < 7.5]  # dark during
+        assert any(t > 8.5 for t in rx_times)          # healed after
+        assert net.resilience.totals()["resilience_blackout_loss"] > 0
+        # stop() must leave the channel clean even mid-degrade runs
+        assert net.channel is not None
+        assert not net.channel._impairments
+
+    def test_queue_saturate_injects_noise(self):
+        plan = FaultPlan([QueueSaturate(node=1, start_s=2.0, duration_s=4.0,
+                                        rate_pps=100.0)])
+        net = build_network(ScenarioConfig(
+            protocol="aodv", topology="chain", n_nodes=3, spacing_m=150.0,
+            n_flows=1, flow_rate_pps=2.0, sim_time_s=8.0, warmup_s=1.0,
+            seed=6, fault_plan=plan,
+        ))
+        baseline = build_network(ScenarioConfig(
+            protocol="aodv", topology="chain", n_nodes=3, spacing_m=150.0,
+            n_flows=1, flow_rate_pps=2.0, sim_time_s=8.0, warmup_s=1.0,
+            seed=6,
+        ))
+        for n in (net, baseline):
+            n.start()
+            n.sim.run(until=8.0)
+            n.stop()
+        assert net.injector is not None and net.injector.errors == 0
+        # The saturated node's radio carries the extra broadcast load.
+        assert (net.stacks[1].mac.radio.frames_sent
+                > baseline.stacks[1].mac.radio.frames_sent + 50)
+        # Background noise must not be billed as routing control traffic.
+        assert net.resilience is not None
+        counts = net.resilience.fault_counts
+        assert counts.get("queue_saturate") == 2  # onset + clear
+
+    def test_region_blackout_victims_and_recovery(self):
+        # Disc over the grid centre (node 4 of a 3×3 at 200 m spacing).
+        plan = FaultPlan([RegionBlackout(center_x=200.0, center_y=200.0,
+                                         radius_m=210.0, start_s=3.0,
+                                         duration_s=4.0)])
+        net = build_network(grid_config(seed=8, fault_plan=plan))
+        net.start()
+        net.sim.run(until=4.0)
+        # centre + the 4-neighbour cross are inside the disc
+        dark = {s.node_id for s in net.stacks if not s.mac.radio.powered}
+        assert dark == {1, 3, 4, 5, 7}
+        net.sim.run(until=9.0)
+        assert all(s.mac.radio.powered for s in net.stacks)
+        net.sim.run(until=15.0)
+        net.stop()
+        assert net.injector is not None and net.injector.errors == 0
+
+    def test_flap_preserves_mac_queue_crash_flushes(self):
+        net = build_network(grid_config(seed=9, fault_plan=FaultPlan([
+            RadioFlap(node=4, start_s=2.0, period_s=2.0, duty_on=0.5,
+                      until_s=10.0),
+        ])))
+        net.start()
+        net.sim.run(until=15.0)
+        net.stop()
+        assert net.injector is not None and net.injector.errors == 0
+        assert net.stacks[4].mac.radio.powered  # always restored at the end
+
+
+# ---------------------------------------------------------------------- #
+# Scenario/config/executor integration
+# ---------------------------------------------------------------------- #
+class TestScenarioIntegration:
+    def test_fault_spec_config_round_trips(self):
+        config = grid_config(fault_spec={
+            "kind": "poisson_crashes", "rate_per_s": 0.1, "mttr_s": 5.0,
+        })
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_fault_plan_config_round_trips(self):
+        config = grid_config(fault_plan=full_plan())
+        rebuilt = config_from_dict(
+            json.loads(json.dumps(config_to_dict(config)))
+        )
+        assert rebuilt == config
+
+    @pytest.mark.chaos
+    def test_resilience_totals_ride_on_scenario_result(self):
+        result = run_scenario(grid_config(fault_spec={
+            "kind": "poisson_crashes", "rate_per_s": 0.25, "mttr_s": 3.0,
+            "start_s": 2.0, "stop_s": 10.0,
+        }))
+        assert result.totals["resilience_faults"] > 0
+        assert result.totals["resilience_episodes"] > 0
+        assert 0.0 <= result.pdr <= 1.0
+        # healthy runs carry no resilience keys
+        healthy = run_scenario(grid_config())
+        assert "resilience_faults" not in healthy.totals
+
+    @pytest.mark.chaos
+    def test_exec_campaign_checkpoints_and_resumes(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.exec import ExecPolicy, run_configs
+        from repro.experiments.serialization import result_to_dict
+
+        configs = [
+            grid_config(sim_time_s=8.0, fault_spec={
+                "kind": "flapping", "period_s": 2.0, "duty_on": 0.5,
+                "nodes": [4],
+            }, seed=CHAOS_SEED + k)
+            for k in range(2)
+        ]
+        first = run_configs(
+            "chaos-resume-test", configs, policy=ExecPolicy(checkpoint=True)
+        )
+        cells = list((tmp_path / "cells").glob("*.json"))
+        assert len(cells) == 2
+        # Resumed campaign loads the checkpoints and reproduces the
+        # results byte-identically (full round-trip through JSON).
+        resumed = run_configs(
+            "chaos-resume-test", configs, policy=ExecPolicy(resume=True)
+        )
+        for a, b in zip(first, resumed):
+            assert json.dumps(result_to_dict(a), sort_keys=True) == \
+                json.dumps(result_to_dict(b), sort_keys=True)
+
+
+# ---------------------------------------------------------------------- #
+# Resilience metric edge cases (pure unit tests)
+# ---------------------------------------------------------------------- #
+class TestResilienceCollector:
+    def test_empty_run_yields_nan_not_crash(self):
+        from repro.faults import ResilienceCollector
+
+        rc = ResilienceCollector([])
+        rc.finalize(10.0)
+        totals = rc.totals()
+        assert totals["resilience_faults"] == 0.0
+        assert math.isnan(totals["resilience_reconv_mean_s"])
+        json.loads(rc.summary_json())  # parses cleanly
+
+    def test_blackout_loss_counts_only_window_losses(self):
+        from repro.faults import ResilienceCollector
+        from repro.net.packet import Packet, PacketKind
+
+        class Flow:
+            flow_id = 0
+            rate_pps = 10.0
+
+        rc = ResilienceCollector([Flow()])
+
+        def pkt(seq, t):
+            return Packet(kind=PacketKind.DATA, src=0, dst=1, ttl=8,
+                          flow_id=0, seq=seq, created_at=t)
+
+        for seq, t in enumerate([1.0, 2.0, 5.0, 5.5, 9.0]):
+            rc.on_send(pkt(seq, t))
+        # deliveries: everything except the two sent inside the window
+        for seq, t in ((0, 1.1), (1, 2.1), (4, 9.1)):
+            rc.on_receive(pkt(seq, [1.0, 2.0, 5.0, 5.5, 9.0][seq]), t)
+        rc.on_fault("node_crash", time=4.0, onset=True, key=3)
+        rc.on_fault("node_crash", time=7.0, onset=False, key=3)
+        rc.finalize(10.0)
+        assert rc.blackout_loss() == 2
