@@ -10,11 +10,17 @@ forensics, resumability audits).
 Events: ``campaign_start``, ``task_done``, ``campaign_end``.  The
 ``task_done`` record carries task id, status, attempts, duration, source
 (fresh run vs checkpoint), and simulated events executed.
+
+Durability: the log is held open for the campaign's lifetime and flushed
+after every event, so a killed run leaves only whole lines behind;
+``campaign_end`` additionally fsyncs before closing.  The log is the
+post-mortem record — it must be parseable after any crash.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -50,6 +56,7 @@ class ProgressReporter:
         self._workers = 1
         self._t0 = 0.0
         self._last_line = 0.0
+        self._log_fh: IO[str] | None = None
 
     # ------------------------------------------------------------------ #
     # Event hooks (called by the executor)
@@ -111,8 +118,10 @@ class ProgressReporter:
                 "cached": self._cached,
                 "wall_s": round(wall, 3),
                 "events_per_s": round(self._events / wall, 1),
-            }
+            },
+            durable=True,
         )
+        self._close_log()
         self._line(final=True)
 
     # ------------------------------------------------------------------ #
@@ -137,13 +146,27 @@ class ProgressReporter:
             parts.append(f"ETA {eta:,.0f}s")
         print(" | ".join(parts), file=self.stream, flush=True)
 
-    def _log(self, record: dict[str, Any]) -> None:
+    def _log(self, record: dict[str, Any], durable: bool = False) -> None:
         if self.log_path is None:
             return
         record = {"t": round(time.time(), 3), **record}
         try:
-            self.log_path.parent.mkdir(parents=True, exist_ok=True)
-            with self.log_path.open("a") as fh:
-                fh.write(json.dumps(record) + "\n")
+            if self._log_fh is None or self._log_fh.closed:
+                self.log_path.parent.mkdir(parents=True, exist_ok=True)
+                self._log_fh = self.log_path.open("a")
+            self._log_fh.write(json.dumps(record) + "\n")
+            # Per-event flush: a SIGKILL mid-campaign loses at most the
+            # event being written, never earlier lines.
+            self._log_fh.flush()
+            if durable:
+                os.fsync(self._log_fh.fileno())
         except OSError:  # telemetry must never kill the campaign
             pass
+
+    def _close_log(self) -> None:
+        if self._log_fh is not None and not self._log_fh.closed:
+            try:
+                self._log_fh.close()
+            except OSError:
+                pass
+        self._log_fh = None

@@ -15,6 +15,7 @@ from repro.analysis.stats import ConfidenceInterval, summarize
 from repro.experiments.scenario import Network, ScenarioConfig, build_network
 from repro.metrics.collectors import network_totals
 from repro.metrics.fairness import forwarding_load, jain_index
+from repro.obs.spec import finalize_observability
 
 __all__ = ["ScenarioResult", "run_scenario", "replicate"]
 
@@ -44,6 +45,9 @@ class ScenarioResult:
     totals: dict[str, float] = field(default_factory=dict)
     events_executed: int = 0
     wallclock_s: float = 0.0
+    #: Canonical ``repro_*`` metrics snapshot (see :mod:`repro.obs`).
+    #: Pure simulation state — byte-identical across serial/parallel runs.
+    metrics_snapshot: dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, float]:
         """Scalar metrics as a flat dict (for summarising/sweeps)."""
@@ -61,13 +65,22 @@ class ScenarioResult:
 
 
 def run_scenario(config: ScenarioConfig) -> ScenarioResult:
-    """Build, run, and measure one scenario."""
+    """Build, run, and measure one scenario.
+
+    When the config carries a ``trace_spec`` with a path, the trace
+    artifact is closed here and its ``*.metrics.json`` /
+    ``*.profile.json`` companions written (same snapshot the result
+    carries), so every run — including exec worker cells — leaves a
+    self-contained artifact set behind.
+    """
     t0 = time.perf_counter()
     net = build_network(config)
     net.start()
     net.sim.run(until=config.sim_time_s)
     net.stop()
-    return collect_result(net, wallclock_s=time.perf_counter() - t0)
+    result = collect_result(net, wallclock_s=time.perf_counter() - t0)
+    finalize_observability(net, metrics=result.metrics_snapshot)
+    return result
 
 
 def collect_result(net: Network, wallclock_s: float = 0.0) -> ScenarioResult:
@@ -97,6 +110,7 @@ def collect_result(net: Network, wallclock_s: float = 0.0) -> ScenarioResult:
         totals=totals,
         events_executed=net.sim.events_executed,
         wallclock_s=wallclock_s,
+        metrics_snapshot=net.metrics.metrics_json(),
     )
 
 

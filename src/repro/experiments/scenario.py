@@ -28,6 +28,10 @@ from repro.faults import (
     plan_from_spec,
 )
 from repro.net.dsdv import DsdvConfig, DsdvRouting
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import EngineProfiler
+from repro.obs.sinks import JsonlTraceSink, RingSink
+from repro.obs.spec import attach_observability
 from repro.mac.csma import CsmaMac, MacConfig
 from repro.mac.perfect import PerfectMac, PerfectMacNetwork
 from repro.metrics.flowstats import FlowStatsCollector
@@ -128,6 +132,12 @@ class ScenarioConfig:
     sim_time_s: float = 60.0
     warmup_s: float = 5.0
     trace: bool = False
+    #: Streaming-trace spec (see :mod:`repro.obs.spec`): JSON-able, so it
+    #: content-hashes into exec cells.  Implies tracing when set.
+    trace_spec: dict | None = None
+    #: Attach the engine profiler (wall-time per callback); off by default
+    #: — profiling output is wall-clock and never enters metrics snapshots.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -158,6 +168,13 @@ class ScenarioConfig:
             raise ValueError("sim_time_s must exceed warmup_s")
         if self.fault_spec is not None and self.fault_plan is not None:
             raise ValueError("give fault_spec or fault_plan, not both")
+        if self.trace_spec is not None:
+            # Validate eagerly so bad specs fail at config time, not after
+            # a campaign has dispatched to workers.  Late import: obs sits
+            # above the scenario layer.
+            from repro.obs.spec import TraceSpec
+
+            TraceSpec.from_dict(self.trace_spec)
         if (
             self.fault_spec is not None or self.fault_plan is not None
         ) and self.mac != "csma":
@@ -276,6 +293,11 @@ class Network:
         )
         self.injector: FaultInjector | None = None
         self.resilience: ResilienceCollector | None = None
+        # Observability (wired by repro.obs.spec.attach_observability).
+        self.metrics = MetricsRegistry()
+        self.trace_sink: JsonlTraceSink | None = None
+        self.trace_ring: RingSink | None = None
+        self.profiler: EngineProfiler | None = None
 
     @property
     def protocols(self) -> list[RoutingProtocol]:
@@ -477,4 +499,7 @@ def build_network(config: ScenarioConfig) -> Network:
             net.flows, control_counter=_control_total
         )
         net.injector = FaultInjector(net, plan, collector=net.resilience)
+
+    # --- Observability --------------------------------------------------- #
+    attach_observability(net)
     return net

@@ -119,6 +119,9 @@ def result_to_dict(result: ScenarioResult) -> dict[str, Any]:
         "totals": {k: float(v) for k, v in result.totals.items()},
         "events_executed": result.events_executed,
         "wallclock_s": result.wallclock_s,
+        "metrics_snapshot": {
+            k: float(v) for k, v in result.metrics_snapshot.items()
+        },
     }
 
 
@@ -142,4 +145,6 @@ def result_from_dict(data: dict[str, Any]) -> ScenarioResult:
         totals=dict(data["totals"]),
         events_executed=data["events_executed"],
         wallclock_s=data["wallclock_s"],
+        # Absent in results serialised before the obs subsystem existed.
+        metrics_snapshot=dict(data.get("metrics_snapshot", {})),
     )

@@ -5,12 +5,13 @@ from repro.metrics.collectors import network_totals
 from repro.metrics.fairness import forwarding_load, jain_index
 from repro.metrics.flowstats import FlowRecord, FlowStatsCollector
 from repro.metrics.summary import format_table
-from repro.metrics.timeseries import TimeSeries
+from repro.metrics.timeseries import TimeSeries, bin_series
 
 __all__ = [
     "FlowRecord",
     "FlowStatsCollector",
     "TimeSeries",
+    "bin_series",
     "format_table",
     "forwarding_load",
     "jain_index",

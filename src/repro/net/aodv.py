@@ -612,6 +612,11 @@ class AodvRouting(RoutingProtocol):
         state.rebroadcast_done = True
         self.rreq_forwarded += 1
         self.control_tx["rreq"] += 1
+        self.tracer.record(
+            self.sim.now, "net", self.node_id, "rreq_forward",
+            origin=header.origin, rreq_id=header.rreq_id, dst=header.dst,
+            ttl=copy.ttl,
+        )
         self.stack.send_mac(copy, BROADCAST_ADDR)
 
     def _policy_context(self, packet: Packet, state: FloodState) -> PolicyContext:

@@ -91,6 +91,10 @@ class NodeStack:
             created_at=self.sim.now,
         )
         self.packets_sent += 1
+        self.tracer.record(
+            self.sim.now, "app", self.node_id, "send",
+            dst=dst, flow=flow_id, seq=seq,
+        )
         self.routing.send_data(packet)
         return packet
 
@@ -150,6 +154,7 @@ class NodeStack:
         self.tracer.record(
             self.sim.now, "app", self.node_id, "deliver",
             src=packet.src, flow=packet.flow_id, seq=packet.seq,
+            created=packet.created_at,
         )
         if self.receive_callback is not None:
             self.receive_callback(packet)

@@ -1,0 +1,276 @@
+"""Metrics registry: Counter / Gauge / Histogram instruments with labels.
+
+One :class:`MetricsRegistry` per network gives every layer a shared,
+queryable namespace (Prometheus-style ``layer_name_unit`` names with
+``{label="value"}`` children) instead of counters scattered across
+protocol instances.  Two usage patterns coexist:
+
+* **direct instruments** — hot paths hold a :class:`Counter` /
+  :class:`Histogram` child and call ``inc()`` / ``observe()``;
+* **collect hooks** — :meth:`MetricsRegistry.on_collect` registers a
+  callback that pulls existing per-object counters (routing ``control_tx``,
+  MAC queue drops, busy ratios) into gauges at snapshot time, so legacy
+  counters join the namespace without touching their hot paths.
+
+:meth:`MetricsRegistry.metrics_json` is the canonical snapshot: a flat,
+sorted ``{series_name: value}`` mapping with histograms expanded into
+``_bucket`` / ``_sum`` / ``_count`` series.  It is pure simulation state
+(no wall-clock), so the snapshot of a run is byte-identical no matter
+which process executed it — campaign cells serialise it alongside
+results.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Callable, Iterator
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram bucket upper bounds (seconds-ish scale, but unitless).
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _series_name(name: str, key: _LabelKey, suffix: str = "") -> str:
+    if not key:
+        return name + suffix
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return f"{name}{suffix}{{{inner}}}"
+
+
+class _Instrument:
+    """Common child-management for labelled instrument families."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._children: dict[_LabelKey, "_Instrument"] = {}
+
+    def labels(self, **labels: Any) -> "_Instrument":
+        """The child instrument for this label set (created on demand)."""
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def series(self) -> Iterator[tuple[str, float]]:
+        """All ``(series_name, value)`` pairs; label children after bare."""
+        if not self._children or self._touched():
+            yield from self._series(())
+        for key in sorted(self._children):
+            yield from self._children[key]._series(key)
+
+    def _touched(self) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _make_child(self) -> "_Instrument":  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _series(
+        self, key: _LabelKey
+    ) -> Iterator[tuple[str, float]]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount!r}")
+        self.value += amount
+
+    def _touched(self) -> bool:
+        return self.value != 0.0
+
+    def _make_child(self) -> "Counter":
+        return Counter(self.name)
+
+    def _series(self, key: _LabelKey) -> Iterator[tuple[str, float]]:
+        yield _series_name(self.name, key), self.value
+
+
+class Gauge(_Instrument):
+    """A value that can go anywhere; optionally callback-backed."""
+
+    def __init__(
+        self, name: str, help: str = "",
+        fn: Callable[[], float] | None = None,
+    ) -> None:
+        super().__init__(name, help)
+        self.fn = fn
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def _touched(self) -> bool:
+        return self.fn is not None or self.value != 0.0
+
+    def _make_child(self) -> "Gauge":
+        return Gauge(self.name)
+
+    def _series(self, key: _LabelKey) -> Iterator[tuple[str, float]]:
+        value = self.fn() if self.fn is not None else self.value
+        yield _series_name(self.name, key), float(value)
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram (Prometheus layout).
+
+    ``observe(v)`` is O(log buckets).  Serialises as ``_bucket{le=...}``
+    counts (cumulative), ``_sum``, and ``_count`` series.
+    """
+
+    def __init__(
+        self, name: str, help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ValueError("buckets must be sorted, unique, and non-empty")
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +inf overflow bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        if math.isnan(value):
+            return
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def reset(self) -> None:
+        """Zero the histogram (used by idempotent collect hooks that
+        rebuild the distribution from source state at every snapshot)."""
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def _touched(self) -> bool:
+        return self.count > 0
+
+    def _make_child(self) -> "Histogram":
+        return Histogram(self.name, buckets=self.buckets)
+
+    def _series(self, key: _LabelKey) -> Iterator[tuple[str, float]]:
+        cumulative = 0
+        for bound, n in zip(self.buckets, self.counts):
+            cumulative += n
+            le_key = key + (("le", f"{bound:g}"),)
+            yield _series_name(self.name, le_key, "_bucket"), float(cumulative)
+        yield (
+            _series_name(self.name, key + (("le", "+Inf"),), "_bucket"),
+            float(self.count),
+        )
+        yield _series_name(self.name, key, "_sum"), self.sum
+        yield _series_name(self.name, key, "_count"), float(self.count)
+
+
+class MetricsRegistry:
+    """Named instruments plus snapshot-time collect hooks."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, _Instrument] = {}
+        self._hooks: list[Callable[["MetricsRegistry"], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get-or-create the counter ``name``."""
+        return self._get_or_create(name, lambda: Counter(name, help), Counter)
+
+    def gauge(
+        self, name: str, help: str = "",
+        fn: Callable[[], float] | None = None,
+    ) -> Gauge:
+        """Get-or-create the gauge ``name`` (optionally callback-backed)."""
+        gauge = self._get_or_create(name, lambda: Gauge(name, help, fn), Gauge)
+        if fn is not None:
+            gauge.fn = fn
+        return gauge
+
+    def histogram(
+        self, name: str, help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get-or-create the histogram ``name``."""
+        return self._get_or_create(
+            name, lambda: Histogram(name, help, buckets), Histogram
+        )
+
+    def _get_or_create(self, name: str, make: Callable, cls: type) -> Any:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = make()
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {cls.__name__}"
+            )
+        return inst
+
+    def on_collect(self, hook: Callable[["MetricsRegistry"], None]) -> None:
+        """Run ``hook(registry)`` before every snapshot (pull-style wiring)."""
+        self._hooks.append(hook)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def get(self, name: str) -> _Instrument | None:
+        """The instrument registered under ``name``, if any."""
+        return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        """Registered instrument names, sorted."""
+        return sorted(self._instruments)
+
+    def collect(self) -> None:
+        """Run the pull hooks (normally done by :meth:`metrics_json`)."""
+        for hook in self._hooks:
+            hook(self)
+
+    def metrics_json(self) -> dict[str, float]:
+        """Canonical flat snapshot: sorted ``{series_name: value}``.
+
+        Deterministic for a deterministic simulation — contains no
+        wall-clock quantities, so serial and parallel executions of the
+        same cell produce byte-identical snapshots.
+        """
+        self.collect()
+        out: dict[str, float] = {}
+        for name in sorted(self._instruments):
+            for series, value in self._instruments[name].series():
+                out[series] = value
+        return out
+
+    def render(self) -> str:
+        """Human-readable one-line-per-series dump (debugging aid)."""
+        return "\n".join(
+            f"{series} {value:g}" for series, value in self.metrics_json().items()
+        )

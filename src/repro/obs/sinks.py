@@ -1,0 +1,201 @@
+"""Streaming trace sinks: durable JSONL and in-memory ring forensics.
+
+A sink is any callable accepting one :class:`~repro.sim.trace.TraceRecord`
+— exactly the ``sink=`` contract :class:`~repro.sim.trace.Tracer` already
+exposes — plus an optional ``close()``.  Sinks stream: memory stays
+bounded no matter how many events a chaos run emits, which is what lets
+million-event discovery storms be captured whole instead of truncated at
+the tracer's in-memory retention bound.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+from collections import deque
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.schema import record_to_dict, trace_footer, trace_header
+from repro.sim.trace import TraceRecord
+
+__all__ = ["TraceSink", "JsonlTraceSink", "RingSink", "CompositeSink"]
+
+
+class TraceSink:
+    """Base class: a callable record consumer with lifecycle hooks."""
+
+    def __call__(self, record: TraceRecord) -> None:
+        self.emit(record)
+
+    def emit(self, record: TraceRecord) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; idempotent."""
+
+
+class JsonlTraceSink(TraceSink):
+    """Streams records to a JSONL file, one JSON object per line.
+
+    Parameters
+    ----------
+    path:
+        Output file.  A ``.gz`` suffix enables gzip compression (override
+        with ``compress=``).  Parent directories are created.
+    meta:
+        Run metadata written into the schema-versioned header line.
+    compress:
+        Force gzip on/off; default inferred from the path suffix.
+    buffer_lines:
+        Lines held before hitting the OS — bounds both syscall rate and
+        memory.  The buffer flushes on overflow and on :meth:`close`.
+
+    The sink counts what it writes (``recorded``, per-category) and
+    appends a footer line with the totals on close, so a reader can
+    detect a truncated artifact (missing footer) and tests can assert on
+    drop accounting end-to-end.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        meta: dict[str, Any] | None = None,
+        compress: bool | None = None,
+        buffer_lines: int = 512,
+    ) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if compress is None:
+            compress = self.path.suffix == ".gz"
+        self.compressed = compress
+        self.recorded = 0
+        self.by_category: dict[str, int] = {}
+        self.dropped = 0  # set by the tracer on close (retention drops)
+        self._buffer: list[str] = []
+        self._buffer_max = max(1, buffer_lines)
+        self._closed = False
+        if compress:
+            self._fh: io.TextIOBase = io.TextIOWrapper(
+                gzip.open(self.path, "wb"), encoding="utf-8"
+            )
+        else:
+            self._fh = self.path.open("w", encoding="utf-8")
+        self._write_line(trace_header(meta))
+
+    # ------------------------------------------------------------------ #
+    def emit(self, record: TraceRecord) -> None:
+        if self._closed:
+            return
+        self.recorded += 1
+        cat = record.category
+        self.by_category[cat] = self.by_category.get(cat, 0) + 1
+        self._buffer.append(json.dumps(record_to_dict(record)))
+        if len(self._buffer) >= self._buffer_max:
+            self._drain()
+
+    def warn(self, message: str) -> None:
+        """Out-of-band warning (e.g. tracer retention overflow)."""
+        if not self._closed:
+            self._write_line({"kind": "warning", "message": message})
+
+    def flush(self) -> None:
+        """Push buffered lines to the OS."""
+        if not self._closed:
+            self._drain()
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._write_line(
+            trace_footer(self.recorded, self.dropped, self.by_category)
+        )
+        self._drain()
+        self._closed = True
+        self._fh.close()
+
+    # ------------------------------------------------------------------ #
+    def _write_line(self, obj: dict[str, Any]) -> None:
+        self._buffer.append(json.dumps(obj))
+        if len(self._buffer) >= self._buffer_max:
+            self._drain()
+
+    def _drain(self) -> None:
+        if self._buffer:
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"JsonlTraceSink({str(self.path)!r}, recorded={self.recorded}, "
+            f"gzip={self.compressed})"
+        )
+
+
+class RingSink(TraceSink):
+    """Keeps the last ``capacity`` records — pre-failure forensics.
+
+    O(1) per record, strictly bounded memory.  After a crash or an
+    assertion failure, :meth:`records` (or :meth:`dump`) yields the
+    events that immediately preceded it, newest last.
+    """
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.seen = 0
+        self._ring: deque[TraceRecord] = deque(maxlen=capacity)
+
+    def emit(self, record: TraceRecord) -> None:
+        self.seen += 1
+        self._ring.append(record)
+
+    def records(self) -> list[TraceRecord]:
+        """Retained records, oldest first."""
+        return list(self._ring)
+
+    def dump(self) -> str:
+        """Human-readable dump of the retained window."""
+        lines = [
+            f"# ring: last {len(self._ring)} of {self.seen} records"
+        ]
+        lines.extend(str(r) for r in self._ring)
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._ring)
+
+
+class CompositeSink(TraceSink):
+    """Fans one record stream out to several sinks (e.g. JSONL + ring)."""
+
+    def __init__(self, *sinks: TraceSink) -> None:
+        if not sinks:
+            raise ValueError("need at least one sink")
+        self.sinks = list(sinks)
+
+    def emit(self, record: TraceRecord) -> None:
+        for sink in self.sinks:
+            sink(record)
+
+    def warn(self, message: str) -> None:
+        for sink in self.sinks:
+            warn = getattr(sink, "warn", None)
+            if warn is not None:
+                warn(message)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

@@ -1,0 +1,177 @@
+"""Registers the standard network metric namespace on a built network.
+
+One call — :func:`register_network_metrics` — gives every run the same
+queryable namespace, pulled from the live simulation objects at snapshot
+time via the registry's collect hooks.  Pull-style wiring keeps the
+protocol/MAC/PHY hot paths untouched (their existing attribute counters
+remain the source of truth) while presenting one canonical,
+deterministic view: the ``repro_*`` series below.
+
+Namespace convention: ``repro_<layer>_<quantity>[_total]``, with
+``{label="value"}`` children for enumerable dimensions (packet kind,
+drop reason).  Everything in the snapshot is simulation state — never
+wall-clock — so snapshots are byte-identical across processes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.scenario import Network
+
+__all__ = ["register_network_metrics"]
+
+#: Busy-ratio histogram bounds: the [0, 1] interval in 0.1 steps.
+BUSY_BUCKETS = tuple(round(0.1 * k, 1) for k in range(1, 11))
+
+#: End-to-end delay histogram bounds (seconds).
+DELAY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+def register_network_metrics(net: "Network") -> MetricsRegistry:
+    """Wire the standard ``repro_*`` namespace into ``net.metrics``."""
+    reg = net.metrics
+
+    # Callback gauges resolve lazily, so registering before stacks/traffic
+    # exist is fine — they read whatever the network holds at snapshot.
+    reg.gauge(
+        "repro_sim_events_executed_total",
+        "engine callbacks executed",
+        fn=lambda: net.sim.events_executed,
+    )
+    reg.gauge(
+        "repro_sim_now_seconds",
+        "simulation clock at snapshot",
+        fn=lambda: net.sim.now,
+    )
+    reg.gauge(
+        "repro_trace_recorded_total",
+        "trace records accepted by the tracer",
+        fn=lambda: net.tracer.recorded,
+    )
+    reg.gauge(
+        "repro_trace_dropped_total",
+        "trace records dropped from in-memory retention",
+        fn=lambda: net.tracer.dropped,
+    )
+
+    reg.on_collect(lambda r: _collect(net, r))
+    return reg
+
+
+def _collect(net: "Network", reg: MetricsRegistry) -> None:
+    """Pull hook: refresh every gauge/histogram from the live network."""
+    stacks = net.stacks
+
+    # --- net layer ----------------------------------------------------- #
+    control = reg.gauge(
+        "repro_net_control_tx_total", "control transmissions by packet kind"
+    )
+    for kind in ("rreq", "rrep", "rerr", "hello"):
+        control.labels(kind=kind).set(
+            sum(s.routing.control_tx[kind] for s in stacks)
+        )
+    reg.gauge("repro_net_control_bytes_total", "control bytes sent").set(
+        sum(s.routing.control_bytes_tx for s in stacks)
+    )
+    reg.gauge("repro_net_data_originated_total", "DATA packets originated").set(
+        sum(s.routing.data_originated for s in stacks)
+    )
+    reg.gauge("repro_net_data_forwarded_total", "DATA packets forwarded").set(
+        sum(s.routing.data_forwarded for s in stacks)
+    )
+    drops = reg.gauge(
+        "repro_net_data_dropped_total", "routing-layer DATA drops by reason"
+    )
+    drops.labels(reason="no_route").set(
+        sum(s.routing.data_dropped_no_route for s in stacks)
+    )
+    drops.labels(reason="ttl").set(
+        sum(s.routing.data_dropped_ttl for s in stacks)
+    )
+    drops.labels(reason="link").set(
+        sum(getattr(s.routing, "data_dropped_link", 0) for s in stacks)
+    )
+    drops.labels(reason="buffer").set(
+        sum(getattr(s.routing, "data_dropped_buffer", 0) for s in stacks)
+    )
+    reg.gauge(
+        "repro_net_rreq_forwarded_total", "RREQ rebroadcasts (storm size)"
+    ).set(sum(getattr(s.routing, "rreq_forwarded", 0) for s in stacks))
+    reg.gauge(
+        "repro_net_rerr_suppressed_total",
+        "RERRs suppressed by RFC 3561 rate limiting",
+    ).set(sum(getattr(s.routing, "rerr_suppressed", 0) for s in stacks))
+    reg.gauge(
+        "repro_net_discoveries_failed_total", "route discoveries given up"
+    ).set(sum(getattr(s.routing, "discoveries_failed", 0) for s in stacks))
+
+    # --- mac layer ------------------------------------------------------ #
+    mac_tx = reg.gauge(
+        "repro_mac_tx_total", "MAC frame transmissions by kind"
+    )
+    for kind in ("data", "ack", "rts", "cts"):
+        mac_tx.labels(kind=kind).set(
+            sum(getattr(s.mac, f"{kind}_tx", 0) for s in stacks)
+        )
+    reg.gauge("repro_mac_retries_total", "MAC retransmissions").set(
+        sum(getattr(s.mac, "retries_total", 0) for s in stacks)
+    )
+    mac_drops = reg.gauge("repro_mac_drops_total", "MAC drops by reason")
+    mac_drops.labels(reason="retry").set(
+        sum(getattr(s.mac, "drops_retry", 0) for s in stacks)
+    )
+    mac_drops.labels(reason="queue").set(
+        sum(
+            q.dropped
+            for s in stacks
+            if (q := getattr(s.mac, "queue", None)) is not None
+        )
+    )
+    busy = reg.histogram(
+        "repro_mac_busy_ratio",
+        "per-node channel busy ratio at snapshot",
+        buckets=BUSY_BUCKETS,
+    )
+    busy.reset()
+    for s in stacks:
+        ratio = getattr(s.mac, "channel_busy_ratio", None)
+        if ratio is not None:
+            busy.observe(ratio())
+
+    # --- phy layer ------------------------------------------------------ #
+    if net.channel is not None:
+        frames = reg.gauge(
+            "repro_phy_frames_total", "radio frame outcomes by kind"
+        )
+        radios = net.channel.radios()
+        for kind in ("sent", "received", "corrupted", "captured"):
+            frames.labels(kind=kind).set(
+                sum(getattr(r, f"frames_{kind}", 0) for r in radios)
+            )
+
+    # --- flows (application) -------------------------------------------- #
+    collector = net.collector
+    reg.gauge("repro_flows_sent_total", "in-window originated packets").set(
+        collector.total_sent
+    )
+    reg.gauge("repro_flows_received_total", "in-window delivered packets").set(
+        collector.total_received
+    )
+    reg.gauge("repro_flows_pdr", "aggregate packet delivery ratio").set(
+        collector.overall_pdr()
+    )
+    delay = reg.histogram(
+        "repro_flows_delay_seconds",
+        "end-to-end delay of in-window deliveries",
+        buckets=DELAY_BUCKETS,
+    )
+    delay.reset()
+    for record in collector.flows.values():
+        for d in record.delays:
+            delay.observe(d)

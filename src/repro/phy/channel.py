@@ -248,6 +248,11 @@ class Channel:
         """Number of registered radios."""
         return self._n
 
+    def radios(self) -> list["Radio"]:
+        """Registered radios in node-id registration order (read-only use;
+        metric collection iterates these for frame counters)."""
+        return list(self._radios.values())
+
     # ------------------------------------------------------------------ #
     # Spatial grid
     # ------------------------------------------------------------------ #

@@ -1,0 +1,124 @@
+"""Durability of the campaign progress JSONL log.
+
+The log is the campaign's post-mortem record: after *any* crash —
+including a hard ``os._exit`` mid-campaign — it must re-parse as whole
+JSON lines covering every event logged before death.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exec.progress import ProgressReporter
+from repro.exec.task import Campaign, Task
+from repro.experiments.scenario import ScenarioConfig
+
+
+REPO_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+class _Outcome:
+    """Minimal TaskOutcome stand-in for driving the reporter directly."""
+
+    def __init__(self, task, status="ok", source="run"):
+        self.task = task
+        self.status = status
+        self.source = source
+        self.kind = "error" if status != "ok" else None
+        self.attempts = 1
+        self.duration_s = 0.01
+        self.result = None
+        self.error = None
+
+
+def make_campaign(n=3):
+    configs = [
+        ScenarioConfig(seed=s, sim_time_s=2.0, warmup_s=0.5, n_flows=1)
+        for s in range(1, n + 1)
+    ]
+    return Campaign("durability", [Task(c) for c in configs])
+
+
+class TestLogDurability:
+    def test_every_event_flushed_immediately(self, tmp_path):
+        """Events are readable from disk *before* campaign_end closes the log."""
+        log = tmp_path / "run.jsonl"
+        reporter = ProgressReporter(
+            stream=open(os.devnull, "w"), log_path=log
+        )
+        campaign = make_campaign(2)
+        reporter.campaign_started(campaign, workers=1)
+        reporter.task_finished(_Outcome(campaign.tasks[0]))
+        # No campaign_end yet: per-event flush means the lines are on disk.
+        lines = [json.loads(ln) for ln in log.read_text().splitlines()]
+        assert [ln["event"] for ln in lines] == ["campaign_start", "task_done"]
+        reporter.task_finished(_Outcome(campaign.tasks[1], status="error"))
+        reporter.campaign_finished(None)
+        lines = [json.loads(ln) for ln in log.read_text().splitlines()]
+        assert lines[-1]["event"] == "campaign_end"
+        assert reporter._log_fh is None  # closed (and fsynced) at the end
+
+    def test_reporter_reusable_after_campaign_end(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        reporter = ProgressReporter(stream=open(os.devnull, "w"), log_path=log)
+        for _ in range(2):
+            campaign = make_campaign(1)
+            reporter.campaign_started(campaign, workers=1)
+            reporter.task_finished(_Outcome(campaign.tasks[0]))
+            reporter.campaign_finished(None)
+        events = [
+            json.loads(ln)["event"] for ln in log.read_text().splitlines()
+        ]
+        assert events.count("campaign_start") == 2
+        assert events.count("campaign_end") == 2
+
+    def test_log_survives_hard_kill_mid_campaign(self, tmp_path):
+        """Kill the campaign process mid-write; the log must re-parse whole.
+
+        ``REPRO_EXEC_FAULT=exit:<seed>`` makes the (serial, in-process)
+        worker die with ``os._exit`` when it reaches that seed's cell —
+        after earlier cells logged their ``task_done`` events.
+        """
+        log = tmp_path / "killed.jsonl"
+        script = f"""
+import sys
+sys.path.insert(0, {REPO_SRC!r})
+from repro.exec import ExecPolicy, ProgressReporter, run_configs
+from repro.experiments.scenario import ScenarioConfig
+
+configs = [
+    ScenarioConfig(seed=s, sim_time_s=2.0, warmup_s=0.5, n_flows=1)
+    for s in (1, 2, 3)
+]
+reporter = ProgressReporter(log_path={str(log)!r}, min_interval_s=0.0)
+run_configs("kill-test", configs,
+            ExecPolicy(workers=1, checkpoint=False, retries=0),
+            reporter=reporter)
+"""
+        env = dict(os.environ, REPRO_EXEC_FAULT="exit:3", PYTHONPATH=REPO_SRC)
+        env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode != 0  # the fault killed the process
+
+        # The log must exist and re-parse line-by-line: only whole JSON
+        # objects, never a torn tail.
+        raw = log.read_text()
+        assert raw.endswith("\n")
+        lines = [json.loads(ln) for ln in raw.splitlines()]
+        events = [ln["event"] for ln in lines]
+        assert events[0] == "campaign_start"
+        # Cells for seeds 1 and 2 completed (and were flushed) before the
+        # seed-3 cell killed the process; campaign_end never happened.
+        assert events.count("task_done") == 2
+        assert "campaign_end" not in events
+        done = [ln for ln in lines if ln["event"] == "task_done"]
+        assert all(d["status"] == "ok" for d in done)
