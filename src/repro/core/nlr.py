@@ -88,10 +88,38 @@ class NlrConfig:
     adaptive_forwarding: bool = True
 
     def __post_init__(self) -> None:
+        # Validate every tunable eagerly: these fields are exactly what
+        # design-space exploration mutates, and a nonsense value must fail
+        # at config construction — not minutes later inside a worker when
+        # the LoadEstimator or forwarding policy is first instantiated.
         if self.hop_weight < 0:
             raise ValueError(f"hop_weight must be ≥ 0, got {self.hop_weight!r}")
         if self.sample_interval_s <= 0:
             raise ValueError("sample interval must be positive")
+        if not 0.0 <= self.queue_weight <= 1.0:
+            raise ValueError(
+                f"queue_weight must be in [0, 1], got {self.queue_weight!r}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha!r}"
+            )
+        if not 0.0 <= self.own_weight <= 1.0:
+            raise ValueError(
+                f"own_weight must be in [0, 1], got {self.own_weight!r}"
+            )
+        if not 0.0 < self.p_min <= self.p_max <= 1.0:
+            raise ValueError(
+                "require 0 < p_min <= p_max <= 1, got "
+                f"p_min={self.p_min!r} p_max={self.p_max!r}"
+            )
+        if not 0.0 <= self.gamma <= 1.0:
+            # Load is in [0, 1] and p_max ≤ 1, so slopes above 1 only pin
+            # the curve to p_min — reject them so searches cannot wander
+            # into a flat (and misleadingly "insensitive") region.
+            raise ValueError(f"gamma must be in [0, 1], got {self.gamma!r}")
+        if self.always_first_hops < 0 or self.sparse_degree < 0:
+            raise ValueError("hop/degree safeguards must be ≥ 0")
 
 
 class NlrRouting(AodvRouting):

@@ -1,0 +1,6 @@
+"""``python -m repro.dse`` — the :mod:`repro.dse.cli` entry point."""
+
+from repro.dse.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

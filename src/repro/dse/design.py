@@ -1,0 +1,66 @@
+"""Deterministic design builders: full factorial and Latin hypercube.
+
+Both return plain lists of points (``{dim: value}`` dicts) in a stable
+order, so a design enumerated twice — or on two machines — yields the same
+campaign cells in the same order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+import numpy as np
+
+from repro.dse.space import ParameterSpace, Point
+
+__all__ = ["full_factorial", "latin_hypercube"]
+
+
+def full_factorial(space: ParameterSpace, levels: int = 3) -> list[Point]:
+    """Cartesian product of per-dimension factorial levels.
+
+    Continuous dimensions get ``levels`` evenly spaced values including
+    both bounds; integer dimensions get up to ``levels`` distinct evenly
+    spaced integers; categorical dimensions always contribute every
+    choice.  Order is lexicographic in dimension order (last dimension
+    fastest), matching :func:`itertools.product`.
+    """
+    if levels < 1:
+        raise ValueError(f"levels must be ≥ 1, got {levels}")
+    axes: list[list[Any]] = [d.levels(levels) for d in space.dimensions]
+    names = [d.name for d in space.dimensions]
+    return [
+        dict(zip(names, combo)) for combo in itertools.product(*axes)
+    ]
+
+
+def latin_hypercube(
+    space: ParameterSpace, n: int, rng: np.random.Generator
+) -> list[Point]:
+    """``n`` points with stratified (one-per-stratum) marginal coverage.
+
+    Continuous and integer dimensions are stratified into ``n`` equal
+    slices with one uniform draw per slice, shuffled independently per
+    dimension; categorical dimensions cycle through their choices in a
+    shuffled order so every choice appears ⌊n/k⌋ or ⌈n/k⌉ times.
+    """
+    if n < 1:
+        raise ValueError(f"n must be ≥ 1, got {n}")
+    columns: dict[str, list[Any]] = {}
+    for d in space.dimensions:
+        if d.kind == "categorical":
+            reps = [d.choices[i % len(d.choices)] for i in range(n)]
+            order = rng.permutation(n)
+            columns[d.name] = [reps[i] for i in order]
+        else:
+            strata = (np.arange(n) + rng.uniform(0.0, 1.0, size=n)) / n
+            values = [
+                d.clip(d.low + s * (d.high - d.low)) for s in strata
+            ]
+            order = rng.permutation(n)
+            columns[d.name] = [values[i] for i in order]
+    return [
+        {name: columns[name][i] for name in (d.name for d in space.dimensions)}
+        for i in range(n)
+    ]

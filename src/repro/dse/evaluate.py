@@ -1,0 +1,183 @@
+"""Evaluation adapter: parameter points → exec campaign cells → objectives.
+
+The :class:`Evaluator` is the bridge between search algorithms and the
+campaign fabric.  Each point is bound onto the base config, replicated
+across ``n_seeds`` consecutive seeds, and the whole batch runs as one
+:class:`~repro.exec.task.Campaign` through the
+:class:`~repro.exec.scheduler.CampaignExecutor` — so every evaluation is a
+content-hashed cell with per-cell checkpointing, worker-pool parallelism,
+crash quarantine, and byte-identical parallel-vs-serial aggregates, none
+of which this module has to reimplement.
+
+Checkpoint resume is forced on: a killed search re-runs its evaluation
+batches, but every cell that already completed loads from its checkpoint,
+which is what makes kill-and-resume produce byte-identical trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Sequence
+
+from repro.dse.objectives import (
+    Objective,
+    aggregate_objectives,
+    weighted_score,
+)
+from repro.dse.space import ParameterSpace, Point, point_key
+from repro.exec.policy import ExecPolicy, current_policy
+from repro.exec.scheduler import CampaignExecutor
+from repro.exec.task import Campaign, Task
+from repro.experiments.scenario import ScenarioConfig
+
+__all__ = ["PointEval", "Evaluator"]
+
+
+@dataclass(slots=True)
+class PointEval:
+    """Aggregated outcome of evaluating one point.
+
+    ``objectives`` holds the across-seed mean per objective key;
+    ``fitness`` the weighted score the search climbs; ``per_seed`` the raw
+    per-replicate values for CI reporting.
+    """
+
+    point: Point
+    objectives: dict[str, float]
+    fitness: float
+    per_seed: list[dict[str, float]] = field(default_factory=list)
+    generation: int = 0
+
+    @property
+    def key(self) -> str:
+        return point_key(self.point)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "point": dict(self.point),
+            "objectives": dict(self.objectives),
+            "fitness": self.fitness,
+            "per_seed": [dict(s) for s in self.per_seed],
+            "generation": self.generation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PointEval":
+        return cls(
+            point=dict(data["point"]),
+            objectives=dict(data["objectives"]),
+            fitness=float(data["fitness"]),
+            per_seed=[dict(s) for s in data.get("per_seed", [])],
+            generation=int(data.get("generation", 0)),
+        )
+
+
+class Evaluator:
+    """Runs points through the exec fabric and caches their outcomes.
+
+    The cache is keyed on the point's canonical JSON: a point that
+    reappears (an elite carried over, a mutation landing on explored
+    ground) costs nothing.  On resume, recorded evaluations are replayed
+    into the cache via :meth:`absorb` so completed generations never touch
+    the executor at all.
+    """
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        base: ScenarioConfig,
+        objectives: Sequence[Objective],
+        n_seeds: int = 1,
+        policy: ExecPolicy | None = None,
+        campaign_prefix: str = "dse",
+    ) -> None:
+        if n_seeds < 1:
+            raise ValueError(f"n_seeds must be ≥ 1, got {n_seeds}")
+        self.space = space
+        self.base = base
+        self.objectives = list(objectives)
+        self.n_seeds = n_seeds
+        base_policy = policy if policy is not None else current_policy()
+        # Content-hashed cells make resume free and kill-safe; never run
+        # a search without it.
+        self.policy = replace(base_policy, resume=True, checkpoint=True)
+        self.campaign_prefix = campaign_prefix
+        self._cache: dict[str, PointEval] = {}
+        self.simulations_run = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def archive(self) -> list[PointEval]:
+        """Every distinct evaluated point, in first-evaluation order."""
+        return list(self._cache.values())
+
+    def absorb(self, evals: Sequence[PointEval]) -> None:
+        """Seed the cache with recorded evaluations (state-file replay)."""
+        for ev in evals:
+            self._cache.setdefault(ev.key, ev)
+
+    def configs_for(self, point: Point) -> list[ScenarioConfig]:
+        """The replicate-seed configs one point expands into."""
+        bound = self.space.bind(self.base, point)
+        return [
+            replace(bound, seed=self.base.seed + k) for k in range(self.n_seeds)
+        ]
+
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self, points: Sequence[Point], label: str, generation: int = 0
+    ) -> list[PointEval]:
+        """Evaluate ``points`` (one campaign), returning aligned outcomes.
+
+        Duplicate and previously seen points are served from the cache;
+        only genuinely new cells reach the executor.
+        """
+        points = [self.space.validate_point(p) for p in points]
+        fresh: list[tuple[str, Point]] = []
+        seen: set[str] = set()
+        for p in points:
+            k = point_key(p)
+            if k in self._cache or k in seen:
+                continue
+            seen.add(k)
+            fresh.append((k, p))
+
+        if fresh:
+            tasks: list[Task] = []
+            owners: list[str] = []
+            for k, p in fresh:
+                for cfg in self.configs_for(p):
+                    tasks.append(
+                        Task(cfg, tag=f"{label} {self._short(p)} s{cfg.seed}")
+                    )
+                    owners.append(k)
+            campaign = Campaign(f"{self.campaign_prefix}-{label}", tasks)
+            outcomes = CampaignExecutor(policy=self.policy).run(campaign)
+            results = outcomes.results()  # raises on any failed cell
+            self.simulations_run += sum(
+                1 for o in outcomes.outcomes if o.source == "run"
+            )
+            for (k, p) in fresh:
+                mine = [r for r, owner in zip(results, owners) if owner == k]
+                values = aggregate_objectives(mine, self.objectives)
+                per_seed = [
+                    {o.key: float(vals[o.key]) for o in self.objectives}
+                    for vals in (
+                        aggregate_objectives([r], self.objectives) for r in mine
+                    )
+                ]
+                self._cache[k] = PointEval(
+                    point=dict(p),
+                    objectives=values,
+                    fitness=weighted_score(values, self.objectives),
+                    per_seed=per_seed,
+                    generation=generation,
+                )
+        return [self._cache[point_key(p)] for p in points]
+
+    @staticmethod
+    def _short(point: Point) -> str:
+        return ",".join(
+            f"{k}={v:.3g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in point.items()
+        )

@@ -1,0 +1,423 @@
+"""Seeded, resumable evolutionary search over a parameter space.
+
+The algorithm is a steady (μ+λ)-flavoured generational EA: tournament
+selection, uniform crossover, Gaussian/creep/categorical mutation, and
+elitism.  Three design rules make it deterministic and kill-safe:
+
+1. **Keyed randomness.**  Every draw for generation *g* comes from a
+   generator keyed on ``(seed, stage, g)`` — no RNG state is carried
+   across generations, so a resumed run reconstructs the exact stream for
+   any generation from scratch.
+
+2. **Evaluations are exec cells.**  All simulations go through the
+   :class:`~repro.dse.evaluate.Evaluator`, i.e. content-hashed cells with
+   per-cell checkpoints and forced resume.  Killing the process mid-
+   generation loses at most in-flight cells; a resumed search replays the
+   partial generation with completed cells served from checkpoints.
+
+3. **Generation state is persisted.**  After each generation the complete
+   search state (space, settings, objectives, base config, per-generation
+   populations and prune decisions) is written atomically to
+   ``<out>/state.json``.  Resume replays recorded generations from the
+   file (exact floats — JSON round-trips shortest reprs) and continues,
+   so an interrupted and a straight-through run end with byte-identical
+   populations — compare :func:`population_hash`.
+
+The candidate stream is generated identically whether surrogate pruning
+is on or off (same draws, same order); pruning only chooses *which* of
+the oversampled candidates get simulated.  Pruned candidates are exactly
+those predicted strictly below the configured quantile, and every
+decision is logged in the state file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.dse.evaluate import Evaluator, PointEval
+from repro.dse.design import latin_hypercube
+from repro.dse.objectives import Objective, pareto_front
+from repro.dse.space import ParameterSpace, Point, point_key, seeded_rng
+from repro.dse.surrogate import PruneDecision, RidgeSurrogate, prune_candidates
+from repro.exec.policy import ExecPolicy
+from repro.experiments.cache import atomic_write_json
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.serialization import config_from_dict, config_to_dict
+
+__all__ = [
+    "SearchSettings",
+    "GenerationRecord",
+    "SearchResult",
+    "EvolutionarySearch",
+    "population_hash",
+]
+
+#: State-file layout version; bump on incompatible changes.
+STATE_SCHEMA = 1
+
+# RNG stage keys (never reuse a stage for two purposes).
+_STAGE_INIT = 0
+_STAGE_BREED = 1
+
+
+@dataclass(frozen=True, slots=True)
+class SearchSettings:
+    """Evolutionary-search knobs (all deterministic given ``seed``)."""
+
+    population: int = 12
+    generations: int = 6
+    seed: int = 1
+    n_seeds: int = 1
+    tournament_k: int = 3
+    elites: int = 2
+    mutation_rate: float = 0.35
+    mutation_sigma: float = 0.15
+    crossover_rate: float = 0.6
+    oversample: float = 2.0
+    surrogate: bool = True
+    prune_quantile: float = 0.3
+    surrogate_min_train: int = 8
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise ValueError(f"population must be ≥ 2, got {self.population}")
+        if self.generations < 1:
+            raise ValueError(f"generations must be ≥ 1, got {self.generations}")
+        if self.n_seeds < 1:
+            raise ValueError(f"n_seeds must be ≥ 1, got {self.n_seeds}")
+        if not 0 <= self.elites < self.population:
+            raise ValueError(
+                f"elites must be in [0, population), got {self.elites}"
+            )
+        if self.tournament_k < 1:
+            raise ValueError(f"tournament_k must be ≥ 1, got {self.tournament_k}")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if not 0.0 < self.mutation_sigma <= 1.0:
+            raise ValueError("mutation_sigma must be in (0, 1]")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be in [0, 1]")
+        if self.oversample < 1.0:
+            raise ValueError(f"oversample must be ≥ 1, got {self.oversample}")
+        if not 0.0 <= self.prune_quantile < 1.0:
+            raise ValueError("prune_quantile must be in [0, 1)")
+        if self.surrogate_min_train < 2:
+            raise ValueError("surrogate_min_train must be ≥ 2")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "population": self.population,
+            "generations": self.generations,
+            "seed": self.seed,
+            "n_seeds": self.n_seeds,
+            "tournament_k": self.tournament_k,
+            "elites": self.elites,
+            "mutation_rate": self.mutation_rate,
+            "mutation_sigma": self.mutation_sigma,
+            "crossover_rate": self.crossover_rate,
+            "oversample": self.oversample,
+            "surrogate": self.surrogate,
+            "prune_quantile": self.prune_quantile,
+            "surrogate_min_train": self.surrogate_min_train,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SearchSettings":
+        return cls(**dict(data))
+
+
+@dataclass(slots=True)
+class GenerationRecord:
+    """One generation: who was simulated, and who was pruned instead."""
+
+    index: int
+    population: list[PointEval]
+    prune_log: list[PruneDecision] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "population": [e.to_dict() for e in self.population],
+            "prune_log": [d.to_dict() for d in self.prune_log],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GenerationRecord":
+        return cls(
+            index=int(data["index"]),
+            population=[PointEval.from_dict(e) for e in data["population"]],
+            prune_log=[
+                PruneDecision(
+                    point=dict(d["point"]),
+                    predicted=float(d["predicted"]),
+                    threshold=float(d["threshold"]),
+                    pruned=bool(d["pruned"]),
+                )
+                for d in data.get("prune_log", [])
+            ],
+        )
+
+
+def population_hash(population: Sequence[PointEval]) -> str:
+    """SHA-256 over the canonical JSON of a population's points,
+    objective values, and fitnesses — byte-identity across runs, hosts,
+    and serial/parallel execution is asserted on this."""
+    blob = json.dumps(
+        [
+            {
+                "point": e.point,
+                "objectives": e.objectives,
+                "fitness": e.fitness,
+            }
+            for e in population
+        ],
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class SearchResult:
+    """Everything a finished search knows, plus decision-support views."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        objectives: Sequence[Objective],
+        generations: list[GenerationRecord],
+        archive: list[PointEval],
+        simulations_run: int,
+    ) -> None:
+        self.space = space
+        self.objectives = list(objectives)
+        self.generations = generations
+        self.archive = archive
+        self.simulations_run = simulations_run
+
+    @property
+    def final_population(self) -> list[PointEval]:
+        return self.generations[-1].population
+
+    @property
+    def final_population_hash(self) -> str:
+        return population_hash(self.final_population)
+
+    @property
+    def best(self) -> PointEval:
+        """Highest-fitness evaluated point (ties broken by point key)."""
+        return max(self.archive, key=lambda e: (e.fitness, e.key))
+
+    def pareto(self) -> list[PointEval]:
+        """Non-dominated archive points, stable in archive order."""
+        idx = pareto_front([e.objectives for e in self.archive], self.objectives)
+        return [self.archive[i] for i in idx]
+
+    @property
+    def evaluations_pruned(self) -> int:
+        return sum(
+            1 for g in self.generations for d in g.prune_log if d.pruned
+        )
+
+
+class EvolutionarySearch:
+    """Drives the generational loop; see module docstring for guarantees."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        base: ScenarioConfig,
+        settings: SearchSettings = SearchSettings(),
+        objectives: Sequence[Objective] | None = None,
+        out_dir: str | Path | None = None,
+        policy: ExecPolicy | None = None,
+    ) -> None:
+        from repro.dse.objectives import DEFAULT_OBJECTIVES
+
+        self.space = space
+        self.base = base
+        self.settings = settings
+        self.objectives = list(
+            objectives if objectives is not None else DEFAULT_OBJECTIVES
+        )
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.evaluator = Evaluator(
+            space,
+            base,
+            self.objectives,
+            n_seeds=settings.n_seeds,
+            policy=policy,
+            campaign_prefix=f"dse-{space.name}",
+        )
+
+    # ------------------------------------------------------------------ #
+    # State persistence
+    # ------------------------------------------------------------------ #
+    def _identity(self) -> dict[str, Any]:
+        return {
+            "space": self.space.to_dict(),
+            "settings": self.settings.to_dict(),
+            "objectives": [o.to_dict() for o in self.objectives],
+            "base_config": config_to_dict(self.base),
+        }
+
+    @property
+    def state_path(self) -> Path | None:
+        if self.out_dir is None:
+            return None
+        return self.out_dir / "state.json"
+
+    def _write_state(self, generations: list[GenerationRecord]) -> None:
+        if self.state_path is None:
+            return
+        atomic_write_json(
+            self.state_path,
+            {
+                "schema": STATE_SCHEMA,
+                "kind": "evolve",
+                **self._identity(),
+                "generations": [g.to_dict() for g in generations],
+            },
+        )
+
+    def _load_state(self) -> list[GenerationRecord]:
+        """Recorded generations from a prior run of *this exact* search."""
+        path = self.state_path
+        if path is None or not path.exists():
+            return []
+        with path.open() as fh:
+            data = json.load(fh)
+        if data.get("schema") != STATE_SCHEMA or data.get("kind") != "evolve":
+            raise ValueError(
+                f"{path}: not an evolve state file of schema {STATE_SCHEMA}"
+            )
+        mine, theirs = self._identity(), {
+            k: data.get(k)
+            for k in ("space", "settings", "objectives", "base_config")
+        }
+        # The generation *budget* is not part of the search's identity:
+        # every generation's randomness is keyed on (seed, stage, g), so a
+        # recorded prefix is valid under any --generations target — resume
+        # may extend or truncate a search, never silently redefine it.
+        for side in (mine, theirs):
+            if isinstance(side.get("settings"), dict):
+                side["settings"] = {
+                    k: v for k, v in side["settings"].items()
+                    if k != "generations"
+                }
+        if json.dumps(mine, sort_keys=True) != json.dumps(theirs, sort_keys=True):
+            raise ValueError(
+                f"{path}: recorded search differs from the requested one "
+                "(space/settings/objectives/base config mismatch) — resume "
+                "must use the same definition, or use a fresh --out dir"
+            )
+        return [GenerationRecord.from_dict(g) for g in data["generations"]]
+
+    # ------------------------------------------------------------------ #
+    # The loop
+    # ------------------------------------------------------------------ #
+    def run(self, resume: bool = False) -> SearchResult:
+        s = self.settings
+        generations: list[GenerationRecord] = []
+        if resume:
+            generations = self._load_state()[: s.generations]
+            for g in generations:
+                self.evaluator.absorb(g.population)
+
+        for g in range(len(generations), s.generations):
+            points, prune_log = self._propose(g, generations)
+            evals = self.evaluator.evaluate(points, f"gen{g}", generation=g)
+            generations.append(GenerationRecord(g, evals, prune_log))
+            self._write_state(generations)
+
+        return SearchResult(
+            self.space,
+            self.objectives,
+            generations,
+            self.evaluator.archive,
+            self.evaluator.simulations_run,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _propose(
+        self, g: int, generations: list[GenerationRecord]
+    ) -> tuple[list[Point], list[PruneDecision]]:
+        """The generation-``g`` population (deterministic in ``g``)."""
+        s = self.settings
+        if g == 0:
+            rng = seeded_rng(s.seed, _STAGE_INIT, 0)
+            return latin_hypercube(self.space, s.population, rng), []
+
+        rng = seeded_rng(s.seed, _STAGE_BREED, g)
+        prev = generations[g - 1].population
+        ranked = sorted(prev, key=lambda e: (-e.fitness, e.key))
+        elites = [dict(e.point) for e in ranked[: s.elites]]
+        n_children = s.population - len(elites)
+        n_cand = max(n_children, math.ceil(n_children * s.oversample))
+
+        # The candidate stream consumes the same draws regardless of
+        # surrogate mode — pruning must not perturb the trajectory's
+        # randomness, only the choice of which candidates simulate.
+        candidates: list[Point] = []
+        for _ in range(n_cand):
+            parent = self._tournament(prev, rng)
+            if rng.random() < s.crossover_rate:
+                other = self._tournament(prev, rng)
+                child = self.space.crossover(parent.point, other.point, rng)
+            else:
+                child = dict(parent.point)
+            candidates.append(
+                self.space.mutate(child, rng, s.mutation_rate, s.mutation_sigma)
+            )
+
+        prune_log: list[PruneDecision] = []
+        archive = self.evaluator.archive
+        if (
+            s.surrogate
+            and len(archive) >= s.surrogate_min_train
+            and n_cand > n_children
+        ):
+            model = RidgeSurrogate(self.space).fit(
+                [e.point for e in archive], [e.fitness for e in archive]
+            )
+            kept, prune_log = prune_candidates(
+                model, candidates, s.prune_quantile
+            )
+            children = kept[:n_children]
+            if len(children) < n_children:
+                # Quantile pruned too deep for the pool size: refill from
+                # the pruned candidates in predicted-fitness order, and
+                # flip their log entries back to kept — the audit log must
+                # list as pruned exactly the candidates never simulated.
+                ranked_pruned = sorted(
+                    (d for d in prune_log if d.pruned),
+                    key=lambda d: (-d.predicted, point_key(d.point)),
+                )
+                refilled: set[str] = set()
+                for d in ranked_pruned:
+                    if len(children) == n_children:
+                        break
+                    children.append(dict(d.point))
+                    refilled.add(point_key(d.point))
+                if refilled:
+                    prune_log = [
+                        PruneDecision(d.point, d.predicted, d.threshold, False)
+                        if d.pruned and point_key(d.point) in refilled
+                        else d
+                        for d in prune_log
+                    ]
+        else:
+            children = candidates[:n_children]
+
+        return elites + children, prune_log
+
+    def _tournament(
+        self, population: Sequence[PointEval], rng
+    ) -> PointEval:
+        k = min(self.settings.tournament_k, len(population))
+        idx = rng.integers(len(population), size=k)
+        contenders = [population[int(i)] for i in idx]
+        return max(contenders, key=lambda e: (e.fitness, e.key))

@@ -1,0 +1,212 @@
+"""Decision-support reporting over search/screening state files.
+
+Reads the ``state.json`` a search or screening wrote and renders the
+explored space three ways:
+
+* an aligned table of the Pareto front (then the dominated rest), with
+  per-dimension values, objective means, and weighted fitness;
+* CSV of every evaluated point (spreadsheet-ready);
+* an ASCII scatter of any two objectives, front points starred — the
+  sixty-column view of the trade-off surface.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.dse.evaluate import PointEval
+from repro.dse.evolve import STATE_SCHEMA, GenerationRecord, population_hash
+from repro.dse.objectives import Objective, pareto_front
+from repro.dse.space import ParameterSpace
+from repro.metrics.summary import format_table
+
+__all__ = [
+    "SearchState",
+    "load_state",
+    "pareto_table",
+    "to_csv",
+    "ascii_scatter",
+]
+
+
+class SearchState:
+    """Parsed state file: space, objectives, generations, archive."""
+
+    def __init__(self, data: dict[str, Any], path: Path) -> None:
+        if data.get("schema") != STATE_SCHEMA:
+            raise ValueError(
+                f"{path}: unsupported state schema {data.get('schema')!r}"
+            )
+        self.path = path
+        self.kind: str = data.get("kind", "evolve")
+        self.space = ParameterSpace.from_dict(data["space"])
+        self.objectives = [Objective.from_dict(o) for o in data["objectives"]]
+        self.settings: dict[str, Any] = dict(data.get("settings", {}))
+        self.base_config: dict[str, Any] = dict(data.get("base_config", {}))
+        self.generations = [
+            GenerationRecord.from_dict(g) for g in data.get("generations", [])
+        ]
+        if not self.generations:
+            raise ValueError(f"{path}: state has no completed generations")
+
+    @property
+    def archive(self) -> list[PointEval]:
+        """Distinct evaluated points in first-evaluation order."""
+        seen: dict[str, PointEval] = {}
+        for gen in self.generations:
+            for ev in gen.population:
+                seen.setdefault(ev.key, ev)
+        return list(seen.values())
+
+    @property
+    def final_population_hash(self) -> str:
+        return population_hash(self.generations[-1].population)
+
+    @property
+    def evaluations_pruned(self) -> int:
+        return sum(
+            1 for g in self.generations for d in g.prune_log if d.pruned
+        )
+
+    def pareto(self) -> list[PointEval]:
+        archive = self.archive
+        idx = pareto_front([e.objectives for e in archive], self.objectives)
+        return [archive[i] for i in idx]
+
+    def best(self) -> PointEval:
+        return max(self.archive, key=lambda e: (e.fitness, e.key))
+
+
+def load_state(out_dir: str | Path) -> SearchState:
+    """Load ``<out_dir>/state.json`` (or a direct file path)."""
+    path = Path(out_dir)
+    if path.is_dir():
+        path = path / "state.json"
+    if not path.exists():
+        raise FileNotFoundError(f"no DSE state at {path}")
+    with path.open() as fh:
+        return SearchState(json.load(fh), path)
+
+
+def _rows(
+    evals: Sequence[PointEval],
+    space: ParameterSpace,
+    objectives: Sequence[Objective],
+    front_keys: set[str],
+) -> list[list[Any]]:
+    rows = []
+    for ev in evals:
+        rows.append(
+            ["*" if ev.key in front_keys else ""]
+            + [ev.point[d.name] for d in space.dimensions]
+            + [ev.objectives[o.key] for o in objectives]
+            + [ev.fitness, ev.generation]
+        )
+    return rows
+
+
+def pareto_table(state: SearchState, top: int = 0) -> str:
+    """Aligned table: Pareto front first (starred), then the rest by
+    fitness; ``top`` > 0 limits the number of printed rows."""
+    front = state.pareto()
+    front_keys = {e.key for e in front}
+    rest = sorted(
+        (e for e in state.archive if e.key not in front_keys),
+        key=lambda e: (-e.fitness, e.key),
+    )
+    ordered = sorted(front, key=lambda e: (-e.fitness, e.key)) + rest
+    if top > 0:
+        ordered = ordered[:top]
+    headers = (
+        ["front"]
+        + [d.name for d in state.space.dimensions]
+        + [f"{o.key} ({o.goal})" for o in state.objectives]
+        + ["fitness", "gen"]
+    )
+    table = format_table(
+        headers,
+        _rows(ordered, state.space, state.objectives, front_keys),
+        title=(
+            f"{state.space.name}: {len(state.archive)} evaluated, "
+            f"{len(front)} on Pareto front, "
+            f"{state.evaluations_pruned} pruned by surrogate"
+        ),
+    )
+    return table
+
+
+def to_csv(state: SearchState) -> str:
+    """CSV of every evaluated point (front flag, dims, objectives)."""
+    import csv
+
+    front_keys = {e.key for e in state.pareto()}
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(
+        ["front"]
+        + [d.name for d in state.space.dimensions]
+        + [o.key for o in state.objectives]
+        + ["fitness", "generation"]
+    )
+    for ev in state.archive:
+        writer.writerow(
+            [1 if ev.key in front_keys else 0]
+            + [ev.point[d.name] for d in state.space.dimensions]
+            + [ev.objectives[o.key] for o in state.objectives]
+            + [ev.fitness, ev.generation]
+        )
+    return buf.getvalue()
+
+
+def ascii_scatter(
+    state: SearchState,
+    x_key: str | None = None,
+    y_key: str | None = None,
+    width: int = 60,
+    height: int = 18,
+) -> str:
+    """Two objectives as an ASCII scatter; Pareto-front points are ``*``,
+    dominated points ``·``.  Defaults to the first two objectives."""
+    objectives = state.objectives
+    if len(objectives) < 2 and (x_key is None or y_key is None):
+        raise ValueError("need two objectives (or explicit --x/--y) to scatter")
+    x_key = x_key or objectives[0].key
+    y_key = y_key or objectives[1].key
+    front_keys = {e.key for e in state.pareto()}
+    pts = [
+        (e.objectives[x_key], e.objectives[y_key], e.key in front_keys)
+        for e in state.archive
+        if not (
+            math.isnan(e.objectives[x_key]) or math.isnan(e.objectives[y_key])
+        )
+    ]
+    if not pts:
+        raise ValueError(f"no finite ({x_key}, {y_key}) points to plot")
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    # Draw dominated points first so front stars are never overwritten.
+    for x, y, on_front in sorted(pts, key=lambda p: p[2]):
+        col = min(width - 1, int((x - x_lo) / x_span * (width - 1)))
+        row = height - 1 - min(
+            height - 1, int((y - y_lo) / y_span * (height - 1))
+        )
+        grid[row][col] = "*" if on_front else "·"
+    lines = [f"{state.space.name}: {y_key} vs {x_key}  (* = Pareto front)"]
+    lines.append(f"{y_hi:>12.4g} ┐")
+    for row in grid:
+        lines.append(" " * 12 + " │" + "".join(row))
+    lines.append(f"{y_lo:>12.4g} ┘")
+    lines.append(
+        " " * 14 + f"{x_lo:<.4g}".ljust(width - 8) + f"{x_hi:>.4g}"
+    )
+    lines.append(" " * 14 + x_key)
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Polynomial ridge surrogate for pruning candidate evaluations.
+
+A :class:`RidgeSurrogate` fits fitness as a degree-2 polynomial of the
+space's normalized feature vector (bias + linear + squares + pairwise
+interactions) by closed-form ridge regression — pure numpy, deterministic,
+and cheap enough to refit every generation.
+
+:func:`prune_candidates` applies the model to a candidate pool: predicted
+fitness strictly below the ``quantile``-quantile of the pool's predictions
+is pruned (never simulated).  Every decision is returned as a
+:class:`PruneDecision` and persisted in search state files, so a campaign
+can always answer *which* configurations were skipped, at what predicted
+fitness, against what threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.dse.space import ParameterSpace, Point, point_key
+
+__all__ = ["RidgeSurrogate", "PruneDecision", "prune_candidates"]
+
+
+class RidgeSurrogate:
+    """Degree-2 polynomial ridge regression over normalized parameters."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        degree: int = 2,
+        ridge: float = 1e-3,
+    ) -> None:
+        if degree not in (1, 2):
+            raise ValueError(f"degree must be 1 or 2, got {degree}")
+        if ridge <= 0:
+            raise ValueError(f"ridge must be positive, got {ridge}")
+        self.space = space
+        self.degree = degree
+        self.ridge = ridge
+        self._weights: np.ndarray | None = None
+        self.n_train = 0
+
+    def _features(self, points: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        base = np.stack([self.space.normalize(p) for p in points])
+        cols = [np.ones((base.shape[0], 1)), base]
+        if self.degree == 2:
+            n = base.shape[1]
+            cols.append(base**2)
+            for i in range(n):
+                for j in range(i + 1, n):
+                    cols.append((base[:, i] * base[:, j])[:, None])
+        return np.hstack(cols)
+
+    def fit(
+        self, points: Sequence[Mapping[str, Any]], fitnesses: Sequence[float]
+    ) -> "RidgeSurrogate":
+        """Fit on evaluated ``(point, fitness)`` pairs; −inf fitnesses
+        (poisoned scores) are clamped to the worst finite value so one
+        broken configuration cannot blow up the regression."""
+        y = np.asarray(list(fitnesses), dtype=float)
+        if len(points) != len(y) or len(y) < 2:
+            raise ValueError("need ≥ 2 matching training pairs")
+        finite = y[np.isfinite(y)]
+        floor = float(finite.min()) if finite.size else 0.0
+        y = np.where(np.isfinite(y), y, floor)
+        X = self._features(points)
+        # Closed-form ridge; the bias column is regularised too, which is
+        # harmless here (features live in [0, 1]).
+        A = X.T @ X + self.ridge * np.eye(X.shape[1])
+        self._weights = np.linalg.solve(A, X.T @ y)
+        self.n_train = len(y)
+        return self
+
+    def predict(self, points: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("surrogate is not fitted")
+        if not points:
+            return np.empty(0)
+        return self._features(points) @ self._weights
+
+
+@dataclass(frozen=True, slots=True)
+class PruneDecision:
+    """Audit record for one candidate put before the surrogate."""
+
+    point: Point
+    predicted: float
+    threshold: float
+    pruned: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "point": dict(self.point),
+            "predicted": self.predicted,
+            "threshold": self.threshold,
+            "pruned": self.pruned,
+        }
+
+
+def prune_candidates(
+    surrogate: RidgeSurrogate,
+    candidates: Sequence[Point],
+    quantile: float,
+) -> tuple[list[Point], list[PruneDecision]]:
+    """Split ``candidates`` into (kept, decisions) by predicted fitness.
+
+    The threshold is the ``quantile``-quantile of the pool's own
+    predictions; a candidate is pruned iff its prediction is *strictly*
+    below it, so ties survive and the kept set is never empty.  Input
+    order is preserved in ``kept``.
+    """
+    if not 0.0 <= quantile < 1.0:
+        raise ValueError(f"quantile must be in [0, 1), got {quantile!r}")
+    if not candidates:
+        return [], []
+    preds = surrogate.predict(candidates)
+    threshold = float(np.quantile(preds, quantile))
+    kept: list[Point] = []
+    decisions: list[PruneDecision] = []
+    for cand, pred in zip(candidates, preds):
+        pruned = bool(pred < threshold)
+        decisions.append(
+            PruneDecision(dict(cand), float(pred), threshold, pruned)
+        )
+        if not pruned:
+            kept.append(cand)
+    return kept, decisions

@@ -80,6 +80,11 @@ processes and the executor reassembles them in task order.  An
 interrupted regeneration continues from per-cell checkpoints with
 ``--resume``.
 
+The protocol parameters these figures hold fixed can themselves be
+searched: ``repro-dse`` runs factorial screenings and seeded
+evolutionary searches over any config fields, with surrogate pruning
+and Pareto reporting — see docs/DSE.md.
+
 """
 
 

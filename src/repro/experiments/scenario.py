@@ -54,6 +54,7 @@ from repro.topology.placement import chain_positions, grid_positions, random_pos
 from repro.traffic.flows import FlowSpec, gateway_flows, random_flow_pairs
 from repro.traffic.generators import CbrSource, OnOffSource, PoissonSource, Source
 from repro.traffic.sink import PacketSink
+from repro.util.validation import canonical_json_value
 
 __all__ = ["ScenarioConfig", "Network", "build_network", "PROTOCOLS"]
 
@@ -153,6 +154,14 @@ class ScenarioConfig:
             raise ValueError(f"unknown traffic model {self.traffic!r}")
         if self.flow_pattern not in ("random", "gateway"):
             raise ValueError(f"unknown flow pattern {self.flow_pattern!r}")
+        if not 0.0 < self.gossip_p <= 1.0:
+            raise ValueError(
+                f"gossip_p must be in (0, 1], got {self.gossip_p!r}"
+            )
+        if self.counter_threshold < 1:
+            raise ValueError(
+                f"counter_threshold must be ≥ 1, got {self.counter_threshold!r}"
+            )
         if self.mobility not in ("static", "rwp"):
             raise ValueError(f"unknown mobility model {self.mobility!r}")
         if self.mobility == "rwp" and self.mac != "csma":
@@ -168,6 +177,14 @@ class ScenarioConfig:
             raise ValueError("sim_time_s must exceed warmup_s")
         if self.fault_spec is not None and self.fault_plan is not None:
             raise ValueError("give fault_spec or fault_plan, not both")
+        # Canonicalise the declarative specs to JSON-native form (tuples →
+        # lists, numpy scalars → Python) so a config equals its own
+        # serialise→deserialise round-trip and exec content hashes cover
+        # exactly what persists.  Non-JSON values fail here, loudly.
+        if self.fault_spec is not None:
+            self.fault_spec = canonical_json_value(self.fault_spec, "fault_spec")
+        if self.trace_spec is not None:
+            self.trace_spec = canonical_json_value(self.trace_spec, "trace_spec")
         if self.trace_spec is not None:
             # Validate eagerly so bad specs fail at config time, not after
             # a campaign has dispatched to workers.  Late import: obs sits

@@ -62,6 +62,11 @@ def _dataclass_to_dict(obj: Any) -> Any:
         return [_dataclass_to_dict(v) for v in obj]
     if isinstance(obj, dict):
         return {k: _dataclass_to_dict(v) for k, v in obj.items()}
+    if isinstance(obj, np.generic):
+        # Numpy scalars (e.g. a mutation drawn from a Generator) would
+        # otherwise be stringified by ``json.dump(default=str)`` — the
+        # config would hash and persist differently from its round-trip.
+        return obj.item()
     return obj
 
 

@@ -46,6 +46,31 @@ class TestMeanCi:
         vals = [1.0, 2.0, 3.0, 4.0]
         assert mean_ci(vals, 0.99).half_width > mean_ci(vals, 0.90).half_width
 
+    def test_zero_variance_zero_width(self):
+        # Identical replicates must give a degenerate interval, not NaN
+        # (sd = 0 → sem = 0 → half-width exactly 0).
+        ci = mean_ci([7.0] * 10)
+        assert ci.mean == 7.0
+        assert ci.half_width == 0.0
+        assert ci.low == ci.high == 7.0
+
+    def test_all_nan_is_empty(self):
+        ci = mean_ci([float("nan")] * 4)
+        assert math.isnan(ci.mean)
+        assert math.isnan(ci.half_width)
+        assert ci.n == 0
+
+    def test_single_after_nan_drop(self):
+        ci = mean_ci([float("nan"), 2.5, float("nan")])
+        assert ci.mean == 2.5
+        assert ci.half_width == 0.0
+        assert ci.n == 1
+
+    def test_bounds_degrade_gracefully(self):
+        # NaN mean propagates into bounds rather than raising.
+        ci = mean_ci([])
+        assert math.isnan(ci.low) and math.isnan(ci.high)
+
 
 class TestSummarize:
     def test_per_key(self):
@@ -62,3 +87,13 @@ class TestSummarize:
     def test_types(self):
         s = summarize([{"x": 1.0}])
         assert isinstance(s["x"], ConfidenceInterval)
+
+    def test_nan_cells_dropped_per_key(self):
+        rows = [{"a": float("nan"), "b": 1.0}, {"a": 4.0, "b": 3.0}]
+        s = summarize(rows)
+        assert s["a"].mean == 4.0
+        assert s["a"].n == 1
+        assert s["b"].n == 2
+
+    def test_empty_rows(self):
+        assert summarize([]) == {}

@@ -1,0 +1,145 @@
+"""Property-style tests: ScenarioConfig survives its JSON round-trip.
+
+``config_from_dict(config_to_dict(c)) == c`` must hold for *any*
+constructible config — including declarative ``fault_spec`` /
+``trace_spec`` payloads and concrete ``fault_plan`` objects — because
+the exec fabric hashes configs through exactly this path: a field that
+does not round-trip is a field that silently changes a cell's identity.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.serialization import config_from_dict, config_to_dict
+from repro.faults.events import FaultPlan, NodeCrash, NodeRecover, RadioFlap
+
+
+def round_trip(config: ScenarioConfig) -> ScenarioConfig:
+    # Through real JSON text, not just dicts — exactness of floats and
+    # tuple/list canonicalisation both matter.
+    return config_from_dict(json.loads(json.dumps(config_to_dict(config))))
+
+
+json_scalars = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=3),
+        st.dictionaries(st.text(max_size=8), inner, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+
+@st.composite
+def scenario_configs(draw) -> ScenarioConfig:
+    kwargs = {
+        "protocol": draw(st.sampled_from(["nlr", "aodv", "dsdv", "gossip"])),
+        "seed": draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        "grid_nx": draw(st.integers(min_value=2, max_value=6)),
+        "grid_ny": draw(st.integers(min_value=2, max_value=6)),
+        "spacing_m": draw(st.floats(min_value=50.0, max_value=500.0,
+                                    allow_nan=False)),
+        "area_m": (
+            draw(st.floats(min_value=100.0, max_value=2000.0, allow_nan=False)),
+            draw(st.floats(min_value=100.0, max_value=2000.0, allow_nan=False)),
+        ),
+        "gossip_p": draw(st.floats(min_value=0.01, max_value=1.0,
+                                   allow_nan=False)),
+        "counter_threshold": draw(st.integers(min_value=1, max_value=8)),
+        "n_flows": draw(st.integers(min_value=1, max_value=12)),
+        "flow_rate_pps": draw(st.floats(min_value=0.1, max_value=50.0,
+                                        allow_nan=False)),
+        "traffic": draw(st.sampled_from(["cbr", "poisson", "onoff"])),
+        "warmup_s": 0.5,
+        "sim_time_s": draw(st.floats(min_value=1.0, max_value=100.0,
+                                     allow_nan=False)),
+    }
+    if draw(st.booleans()):
+        kwargs["fault_spec"] = {
+            "kind": "flapping",
+            "period_s": draw(st.floats(min_value=1.0, max_value=20.0,
+                                       allow_nan=False)),
+            "duty_on": draw(st.floats(min_value=0.1, max_value=0.9,
+                                      allow_nan=False)),
+            "extra": draw(json_values),
+        }
+    if draw(st.booleans()):
+        # trace_spec has a strict schema (obs.TraceSpec) — draw valid specs.
+        spec: dict = {}
+        if draw(st.booleans()):
+            spec["categories"] = draw(
+                st.lists(st.sampled_from(["mac", "net", "phy", "app"]),
+                         min_size=1, max_size=3, unique=True)
+            )
+        if draw(st.booleans()):
+            spec["ring"] = draw(st.integers(min_value=1, max_value=4096))
+        if draw(st.booleans()):
+            spec["retain"] = draw(st.booleans())
+        spec["max_records"] = draw(st.integers(min_value=0, max_value=10**6))
+        kwargs["trace_spec"] = spec
+    return ScenarioConfig(**kwargs)
+
+
+@given(scenario_configs())
+@settings(max_examples=60, deadline=None)
+def test_random_config_round_trips_exactly(config):
+    assert round_trip(config) == config
+
+
+def test_fault_spec_round_trips():
+    cfg = ScenarioConfig(
+        fault_spec={"kind": "poisson_crashes", "rate_per_s": 0.02,
+                    "mttr_s": 5.0, "nodes": [1, 2, 3]},
+    )
+    again = round_trip(cfg)
+    assert again.fault_spec == cfg.fault_spec
+    assert again == cfg
+
+
+def test_trace_spec_round_trips():
+    cfg = ScenarioConfig(trace_spec={"categories": ["mac", "net"], "ring": 128})
+    assert round_trip(cfg) == cfg
+
+
+def test_fault_plan_round_trips():
+    plan = FaultPlan([
+        NodeCrash(node=4, at_s=3.0),
+        NodeRecover(node=4, at_s=8.0),
+        RadioFlap(node=2, start_s=2.0, period_s=2.0, duty_on=0.5,
+                  until_s=9.0),
+    ])
+    cfg = ScenarioConfig(fault_plan=plan)
+    again = round_trip(cfg)
+    assert again.fault_plan == plan
+    assert again == cfg
+
+
+def test_numpy_scalars_canonicalised_not_stringified():
+    # A config carrying numpy scalars (e.g. DSE mutation output) must
+    # serialise to real JSON numbers and compare equal after the trip.
+    cfg = ScenarioConfig(
+        gossip_p=np.float64(0.5),
+        counter_threshold=int(np.int64(2)),
+        trace_spec={"ring": np.int64(64), "retain": True},
+    )
+    data = json.loads(json.dumps(config_to_dict(cfg)))
+    assert data["gossip_p"] == 0.5
+    assert data["trace_spec"] == {"ring": 64, "retain": True}
+    assert config_from_dict(data).trace_spec == {"ring": 64, "retain": True}
+
+
+def test_tuple_specs_canonicalised_at_construction():
+    cfg = ScenarioConfig(trace_spec={"categories": ("mac", "net")})
+    assert cfg.trace_spec == {"categories": ["mac", "net"]}
+    assert round_trip(cfg) == cfg

@@ -1,0 +1,119 @@
+"""``repro-dse`` end-to-end: template → search → resume → report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dse.cli import main
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.serialization import save_config
+
+
+@pytest.fixture()
+def env(tmp_path, monkeypatch):
+    """Isolated cache plus a tiny space + base config on disk."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    space = tmp_path / "space.json"
+    space.write_text(json.dumps({
+        "name": "cli-tiny",
+        "dimensions": [
+            {"name": "gamma", "field": "nlr.gamma", "type": "continuous",
+             "low": 0.0, "high": 1.0},
+            {"name": "p_min", "field": "nlr.p_min", "type": "continuous",
+             "low": 0.1, "high": 0.8},
+        ],
+    }))
+    base = tmp_path / "base.json"
+    save_config(
+        ScenarioConfig(
+            protocol="nlr", grid_nx=3, grid_ny=3, n_flows=2,
+            sim_time_s=6.0, warmup_s=1.0, seed=3,
+        ),
+        base,
+    )
+    return tmp_path
+
+
+def search_args(env, out="run", extra=()):
+    return [
+        "search", "--space", str(env / "space.json"),
+        "--base", str(env / "base.json"), "--out", str(env / out),
+        "--generations", "2", "--population", "4", "--elites", "1",
+        "--seed", "7", *extra,
+    ]
+
+
+def test_template_writes_example_space(tmp_path):
+    out = tmp_path / "space.json"
+    assert main(["template", "-o", str(out)]) == 0
+    space = json.loads(out.read_text())
+    assert space["name"] == "nlr-tuning"
+    assert len(space["dimensions"]) == 6
+
+
+def test_template_stdout(capsys):
+    assert main(["template"]) == 0
+    assert json.loads(capsys.readouterr().out)["name"] == "nlr-tuning"
+
+
+def test_search_report_round_trip(env, capsys):
+    assert main(search_args(env)) == 0
+    out_lines = capsys.readouterr().out.splitlines()
+    hash_line = [l for l in out_lines if l.startswith("final population hash:")]
+    assert hash_line, out_lines
+    first_hash = hash_line[0].split()[-1]
+    assert (env / "run" / "state.json").exists()
+
+    # A --resume invocation replays state and reproduces the exact hash.
+    assert main(search_args(env, extra=["--resume"])) == 0
+    resumed = capsys.readouterr().out
+    assert f"final population hash: {first_hash}" in resumed
+    assert "0 simulations run" in resumed
+
+    # Reports in all three formats.
+    assert main(["report", str(env / "run")]) == 0
+    table = capsys.readouterr().out
+    assert "pareto" in table.lower() or "fitness" in table.lower()
+    assert first_hash in table
+
+    assert main(["report", str(env / "run"), "--format", "csv",
+                 "-o", str(env / "front.csv")]) == 0
+    capsys.readouterr()
+    csv_text = (env / "front.csv").read_text()
+    assert "gamma" in csv_text.splitlines()[0]
+
+    assert main(["report", str(env / "run"), "--format", "scatter",
+                 "--x", "pdr", "--y", "mean_delay_s"]) == 0
+    assert "pdr" in capsys.readouterr().out
+
+
+def test_screen_command(env, capsys):
+    args = [
+        "screen", "--space", str(env / "space.json"),
+        "--base", str(env / "base.json"), "--out", str(env / "screen"),
+        "--levels", "3", "--no-surrogate", "--seed", "7",
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "design: 9 cells, 9 evaluated, 0 pruned" in out
+    assert (env / "screen" / "state.json").exists()
+
+
+def test_errors_exit_2(env, capsys, tmp_path):
+    assert main(["search", "--space", str(tmp_path / "missing.json"),
+                 "--out", str(tmp_path / "x")]) == 2
+    assert "error" in capsys.readouterr().err
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"name": "b", "dimensions": [], "junk": 1}))
+    assert main(["search", "--space", str(bad),
+                 "--out", str(tmp_path / "x")]) == 2
+    assert "unknown space keys" in capsys.readouterr().err
+
+    assert main(search_args(env, extra=["--objective", "no_such_metric:max"])) == 2
+    assert "not found" in capsys.readouterr().err
+
+    assert main(["report", str(tmp_path / "nowhere")]) == 2
+    capsys.readouterr()
