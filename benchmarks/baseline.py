@@ -39,6 +39,8 @@ from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import ScenarioConfig
 from repro.mac.busy_monitor import BusyMonitor
 from repro.phy.channel import Channel
+from repro.phy.error_models import SinrThresholdErrorModel
+from repro.phy.frame import PhyFrame
 from repro.phy.propagation import TwoRayGround
 from repro.phy.radio import PhyConfig, Radio
 from repro.sim.engine import Simulator
@@ -225,6 +227,74 @@ def kernel_fig6_scale_exhaustive(quick: bool) -> dict:
     return _kernel_fig6_scale(quick, False)
 
 
+def _kernel_sinr_slot(quick: bool, batched: bool) -> dict:
+    # Single-slot fan-out kernel (DESIGN.md §8): one transmitter on a
+    # 21×21 grid at 80 m spacing reaches ~416 concurrent receivers, so
+    # every transmission is one rx_start block + one rx_end block.  With
+    # propagation_delay off all receivers share a delay group, which is
+    # the regime the vectorised SINR/capture kernel targets; the scalar
+    # variant walks the same receivers one event at a time.  This is the
+    # per-slot PHY cost in isolation — the ISSUE's ≥5× acceptance kernel.
+    nx = 21
+    rounds = 40 if quick else 200
+    sim = Simulator()
+    ch = Channel(sim, TwoRayGround(), propagation_delay=False,
+                 batched=batched)
+    rs = RandomStreams(1)
+    for i in range(nx * nx):
+        r = Radio(sim, i, PhyConfig(), rs.stream(f"p{i}"),
+                  error_model=SinrThresholdErrorModel(10.0))
+        ch.register(r, (80.0 * (i % nx), 80.0 * (i // nx)))
+    tx = (nx * nx) // 2
+    power = PhyConfig().tx_power_w
+    frame = PhyFrame(payload=None, bits=4096, rate_bps=11e6,
+                     preamble_s=192e-6, tx_power_w=power, tx_node=tx)
+    ch._dispatch_plan(tx, power)  # warm the dispatch plan
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        ch.transmit(tx, frame)
+        sim.run()
+    wall = time.perf_counter() - t0
+    ev = sim.events_executed
+    return {"wall_s": wall, "nodes": nx * nx, "events": ev,
+            "events_per_s": ev / wall}
+
+
+def kernel_sinr_slot_batched(quick: bool) -> dict:
+    return _kernel_sinr_slot(quick, True)
+
+
+def kernel_sinr_slot_scalar(quick: bool) -> dict:
+    return _kernel_sinr_slot(quick, False)
+
+
+def _kernel_fig6_batched(quick: bool, batched: bool) -> dict:
+    # End-to-end batched-kernel pair: the whole simulator (CSMA MAC, NLR
+    # routing, traffic) with ``batched_kernel`` toggled.  Zero propagation
+    # delay keeps each fan-out in one delay group so block events actually
+    # form; with per-receiver delays the groups are singletons and the
+    # batched path degenerates to scalar dispatch (measured ~1.0×).  The
+    # e2e win is smaller than the slot kernel's because MAC/routing logic
+    # stays scalar — this pair tracks the realistic whole-run speedup and
+    # doubles as the batched-vs-scalar byte-determinism gate.
+    nx = 12 if quick else 21
+    return _run_fig6(ScenarioConfig(
+        protocol="nlr", grid_nx=nx, grid_ny=nx, spacing_m=200.0,
+        n_flows=12 if quick else 20, flow_rate_pps=4.0,
+        flow_start_s=0.2, flow_stagger_s=0.0,
+        sim_time_s=1.5 if quick else 2.0, warmup_s=0.5, seed=42,
+        propagation_delay=False, batched_kernel=batched,
+    ))
+
+
+def kernel_fig6_e2e_batched(quick: bool) -> dict:
+    return _kernel_fig6_batched(quick, True)
+
+
+def kernel_fig6_e2e_scalar(quick: bool) -> dict:
+    return _kernel_fig6_batched(quick, False)
+
+
 KERNELS = {
     "engine_events": kernel_engine_events,
     "timer_churn": kernel_timer_churn,
@@ -237,18 +307,34 @@ KERNELS = {
     "fig6_n100_exhaustive": kernel_fig6_exhaustive,
     "fig6_scale_spatial": kernel_fig6_scale_spatial,
     "fig6_scale_exhaustive": kernel_fig6_scale_exhaustive,
+    "sinr_slot_batched": kernel_sinr_slot_batched,
+    "sinr_slot_scalar": kernel_sinr_slot_scalar,
+    "fig6_e2e_batched": kernel_fig6_e2e_batched,
+    "fig6_e2e_scalar": kernel_fig6_e2e_scalar,
 }
 
-#: Kernel pairs run as <base>_spatial / <base>_exhaustive.  Their reps are
-#: interleaved (S, E, S, E, ...) so ambient machine drift hits both
-#: variants of a pair equally and the derived ratios stay stable.
-_PAIRED = ("dispatch", "mobility", "fig6_n100", "fig6_scale")
+#: A/B kernel pairs as (base, fast_variant, slow_variant) name parts; the
+#: kernels are ``<base>_<variant>``.  Each pair's reps are interleaved
+#: (A, B, A, B, ...) so ambient machine drift hits both variants equally
+#: and the derived ratios stay stable.
+_PAIRED = (
+    ("dispatch", "spatial", "exhaustive"),
+    ("mobility", "spatial", "exhaustive"),
+    ("fig6_n100", "spatial", "exhaustive"),
+    ("fig6_scale", "spatial", "exhaustive"),
+    ("sinr_slot", "batched", "scalar"),
+    ("fig6_e2e", "batched", "scalar"),
+)
 _SINGLE = ("engine_events", "timer_churn", "busy_monitor")
 
-#: Spatial/exhaustive kernel pairs that must agree bit-for-bit on these
-#: result keys (the byte-determinism gate).
-_MATCH_PAIRS = ("fig6_n100", "fig6_scale")
-_MATCH_KEYS = ("events", "pdr")
+#: Kernel pairs that must agree bit-for-bit on the listed result keys
+#: (the byte-determinism gate): (kernel_a, kernel_b, keys).
+_MATCH_PAIRS = (
+    ("fig6_n100_spatial", "fig6_n100_exhaustive", ("events", "pdr")),
+    ("fig6_scale_spatial", "fig6_scale_exhaustive", ("events", "pdr")),
+    ("sinr_slot_batched", "sinr_slot_scalar", ("events",)),
+    ("fig6_e2e_batched", "fig6_e2e_scalar", ("events", "pdr")),
+)
 
 #: Repetitions per kernel; the recorded wall time is the minimum.
 _BEST_OF = 3
@@ -297,24 +383,24 @@ def run_all(quick: bool, rev: str) -> dict:
         print(f"  running {name} ...", flush=True)
         fn = KERNELS[name]
         kernels[name] = min((fn(quick) for _ in range(_BEST_OF)), key=wall)
-    for base in _PAIRED:
-        print(f"  running {base} (spatial vs exhaustive) ...", flush=True)
-        sfn = KERNELS[f"{base}_spatial"]
-        efn = KERNELS[f"{base}_exhaustive"]
-        sruns, eruns = [], []
+    for base, va, vb in _PAIRED:
+        print(f"  running {base} ({va} vs {vb}) ...", flush=True)
+        afn = KERNELS[f"{base}_{va}"]
+        bfn = KERNELS[f"{base}_{vb}"]
+        aruns, bruns = [], []
         for _ in range(_BEST_OF):
-            sruns.append(sfn(quick))
-            eruns.append(efn(quick))
-        kernels[f"{base}_spatial"] = min(sruns, key=wall)
-        kernels[f"{base}_exhaustive"] = min(eruns, key=wall)
-    for pair in _MATCH_PAIRS:
-        for key in _MATCH_KEYS:
-            a = kernels[f"{pair}_spatial"][key]
-            b = kernels[f"{pair}_exhaustive"][key]
+            aruns.append(afn(quick))
+            bruns.append(bfn(quick))
+        kernels[f"{base}_{va}"] = min(aruns, key=wall)
+        kernels[f"{base}_{vb}"] = min(bruns, key=wall)
+    for name_a, name_b, keys in _MATCH_PAIRS:
+        for key in keys:
+            a = kernels[name_a][key]
+            b = kernels[name_b][key]
             if a != b:
                 raise SystemExit(
-                    f"DETERMINISM VIOLATION: {pair} {key} diverged "
-                    f"(spatial={a!r}, exhaustive={b!r})"
+                    f"DETERMINISM VIOLATION: {name_a}/{name_b} {key} "
+                    f"diverged ({a!r} vs {b!r})"
                 )
     # Dimensionless ratios: comparable across machines, unlike wall times.
     # fig6_n100 (static, cache-amortised) is intentionally not derived —
@@ -326,6 +412,10 @@ def run_all(quick: bool, rev: str) -> dict:
         / kernels["mobility_spatial"]["wall_s"],
         "fig6_scale_speedup": kernels["fig6_scale_exhaustive"]["wall_s"]
         / kernels["fig6_scale_spatial"]["wall_s"],
+        "sinr_slot_speedup": kernels["sinr_slot_scalar"]["wall_s"]
+        / kernels["sinr_slot_batched"]["wall_s"],
+        "batched_e2e_speedup": kernels["fig6_e2e_scalar"]["wall_s"]
+        / kernels["fig6_e2e_batched"]["wall_s"],
     }
     return {
         "schema": SCHEMA,

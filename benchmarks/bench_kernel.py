@@ -62,6 +62,40 @@ def bench_timer_restart_churn(benchmark):
     benchmark(run)
 
 
+def bench_engine_schedule_cb_fanout(benchmark):
+    """Handle-less fan-out scheduling (the channel's rx event pattern).
+
+    ``schedule_cb`` reuses pooled entry lists and skips handle
+    allocation — the scalar-engine micro-fix this rides against the
+    plain ``schedule`` fan-out measured by ``bench_engine_event_throughput``.
+    """
+
+    def run():
+        sim = Simulator()
+        fn = lambda: None  # noqa: E731
+        for k in range(50_000):
+            sim.schedule_cb(k * 1e-6, fn)
+        sim.run()
+        return sim.events_executed
+
+    assert benchmark(run) == 50_000
+
+
+def bench_engine_block_fanout(benchmark):
+    """50k logical events delivered as 1k 50-receiver block events."""
+
+    def run():
+        sim = Simulator()
+        sim.enable_batching()
+        fn = lambda: None  # noqa: E731
+        for k in range(1_000):
+            sim.schedule_block(k * 1e-6, 50, fn)
+        sim.run()
+        return sim.events_executed
+
+    assert benchmark(run) == 50_000
+
+
 def bench_channel_dispatch(benchmark):
     """1k broadcast dispatches across a 49-node mesh (cached plan path)."""
     from repro.phy.frame import PhyFrame

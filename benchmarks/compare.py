@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Diff two perf-baseline records (``BENCH_<rev>.json``).
+
+``baseline.py`` auto-diffs against the most recent committed record; this
+tool compares two *explicit* records — e.g. a CI artifact against the
+committed baseline, or a scalar run against a batched run — and turns the
+comparison into an exit code.
+
+For every kernel present in **both** records it prints old/new wall time
+and the wall ratio (new / old, so >1.0 means the candidate is slower),
+plus throughput where both sides report a ``*_per_s`` key.  Derived
+speedup ratios are compared side by side.
+
+Gates::
+
+    --fail-above 1.25        exit 1 if any shared kernel's wall ratio
+                             exceeds 1.25; applied only when both records
+                             were produced on the same CPU model (wall
+                             times are meaningless across machines)
+    --min-derived KEY:VAL    exit 1 if the candidate's derived ratio KEY
+                             is below VAL (repeatable); dimensionless, so
+                             it is enforced regardless of CPU
+
+Usage::
+
+    python benchmarks/compare.py BENCH_old.json BENCH_new.json \
+        [--fail-above 1.25] [--min-derived sinr_slot_speedup:3.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_record(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    if "kernels" not in data:
+        raise SystemExit(f"{path}: not a baseline record (no 'kernels' key)")
+    return data
+
+
+def _throughput(entry: dict) -> tuple[str, float] | None:
+    for key, val in entry.items():
+        if key.endswith("_per_s"):
+            return key, val
+    return None
+
+
+def compare(
+    old: dict, new: dict, fail_above: float | None,
+    min_derived: dict[str, float],
+) -> list[str]:
+    """Print the comparison table; return the failure messages."""
+    failures: list[str] = []
+    same_cpu = old.get("cpu") == new.get("cpu") and old.get("cpu")
+    same_mode = bool(old.get("quick")) == bool(new.get("quick"))
+    print(f"old: rev {old.get('rev', '?')}  quick={bool(old.get('quick'))}  "
+          f"({old.get('generated_utc', '?')})")
+    print(f"new: rev {new.get('rev', '?')}  quick={bool(new.get('quick'))}  "
+          f"({new.get('generated_utc', '?')})")
+    if not same_cpu:
+        print("different CPU models — wall-ratio gate skipped")
+    if not same_mode:
+        print("WARNING: records use different --quick modes; wall ratios "
+              "compare different workload sizes")
+
+    shared = [k for k in new["kernels"] if k in old["kernels"]]
+    only_old = sorted(set(old["kernels"]) - set(new["kernels"]))
+    only_new = sorted(set(new["kernels"]) - set(old["kernels"]))
+    print(f"\n{'kernel':<24}{'old wall':>12}{'new wall':>12}{'ratio':>8}"
+          f"{'throughput':>24}")
+    for name in shared:
+        o, n = old["kernels"][name], new["kernels"][name]
+        ratio = n["wall_s"] / o["wall_s"]
+        tp = ""
+        ot, nt = _throughput(o), _throughput(n)
+        if ot and nt and ot[0] == nt[0]:
+            tp = f"{ot[1]:,.0f} → {nt[1]:,.0f}"
+        print(f"{name:<24}{o['wall_s']:>12.4f}{n['wall_s']:>12.4f}"
+              f"{ratio:>7.2f}x{tp:>24}")
+        if fail_above is not None and same_cpu and same_mode \
+                and ratio > fail_above:
+            failures.append(
+                f"{name}: wall ratio {ratio:.2f}x exceeds {fail_above:.2f}x"
+            )
+    for name in only_old:
+        print(f"{name:<24}{old['kernels'][name]['wall_s']:>12.4f}"
+              f"{'--':>12}{'gone':>8}")
+    for name in only_new:
+        print(f"{name:<24}{'--':>12}{new['kernels'][name]['wall_s']:>12.4f}"
+              f"{'new':>8}")
+
+    old_derived = old.get("derived", {})
+    new_derived = new.get("derived", {})
+    if old_derived or new_derived:
+        print(f"\n{'derived ratio':<24}{'old':>12}{'new':>12}")
+        for name in sorted(set(old_derived) | set(new_derived)):
+            o = old_derived.get(name)
+            n = new_derived.get(name)
+            ostr = f"{o:.2f}x" if o is not None else "--"
+            nstr = f"{n:.2f}x" if n is not None else "--"
+            print(f"{name:<24}{ostr:>12}{nstr:>12}")
+    for key, floor in min_derived.items():
+        val = new_derived.get(key)
+        if val is None:
+            failures.append(f"derived ratio {key!r} missing from new record")
+        elif val < floor:
+            failures.append(
+                f"derived ratio {key}: {val:.2f}x below floor {floor:.2f}x"
+            )
+    return failures
+
+
+def _parse_min_derived(specs: list[str]) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for spec in specs:
+        key, sep, val = spec.partition(":")
+        if not sep or not key:
+            raise SystemExit(
+                f"--min-derived expects KEY:VALUE, got {spec!r}")
+        try:
+            out[key] = float(val)
+        except ValueError:
+            raise SystemExit(
+                f"--min-derived {spec!r}: {val!r} is not a number")
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("old", type=Path, help="baseline BENCH_*.json")
+    ap.add_argument("new", type=Path, help="candidate BENCH_*.json")
+    ap.add_argument("--fail-above", type=float, default=None, metavar="R",
+                    help="exit 1 if any shared kernel's wall ratio "
+                         "(new/old) exceeds R on the same CPU")
+    ap.add_argument("--min-derived", action="append", default=[],
+                    metavar="KEY:VAL",
+                    help="exit 1 if the new record's derived ratio KEY "
+                         "is below VAL (repeatable)")
+    args = ap.parse_args(argv)
+
+    old = load_record(args.old)
+    new = load_record(args.new)
+    failures = compare(old, new, args.fail_above,
+                       _parse_min_derived(args.min_derived))
+    if failures:
+        print("\nFAILURES:")
+        for msg in failures:
+            print(f"  - {msg}")
+        return 1
+    print("\nOK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

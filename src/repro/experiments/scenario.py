@@ -32,7 +32,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import EngineProfiler
 from repro.obs.sinks import JsonlTraceSink, RingSink
 from repro.obs.spec import attach_observability
-from repro.mac.csma import CsmaMac, MacConfig
+from repro.mac.csma import CsmaMac, MacConfig, make_timer_batch_handler
 from repro.mac.perfect import PerfectMac, PerfectMacNetwork
 from repro.metrics.flowstats import FlowStatsCollector
 from repro.net.aodv import AodvConfig, AodvRouting
@@ -45,6 +45,7 @@ from repro.phy.error_models import SinrThresholdErrorModel
 from repro.phy.propagation import LogNormalShadowing, TwoRayGround
 from repro.phy.radio import PhyConfig, Radio
 from repro.sim.engine import Simulator
+from repro.sim.process import Timer
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import Tracer
 from repro.topology.gateway import select_gateways
@@ -93,6 +94,11 @@ class ScenarioConfig:
     #: Spatial-grid channel dispatch (byte-identical to exhaustive; keep
     #: the flag for A/B determinism verification and perf bisection).
     spatial_index: bool = True
+    #: Batched simulation kernel (DESIGN.md §8): block-event fan-out,
+    #: vectorised SINR/capture decisions, slot-batched CSMA timers.
+    #: Byte-identical to the scalar engine; off by default so the scalar
+    #: path stays the reference oracle.
+    batched_kernel: bool = False
 
     # Protocol ---------------------------------------------------------- #
     aodv: AodvConfig = field(default_factory=AodvConfig)
@@ -400,7 +406,12 @@ def build_network(config: ScenarioConfig) -> Network:
             propagation,
             propagation_delay=config.propagation_delay,
             spatial_index=config.spatial_index,
+            batched=config.batched_kernel,
         )
+        if config.batched_kernel:
+            net.sim.register_batch_handler(
+                Timer._fire, make_timer_batch_handler(net.channel)
+            )
         macs = []
         for i in range(n):
             radio = Radio(
@@ -419,6 +430,7 @@ def build_network(config: ScenarioConfig) -> Network:
                     replace(config.mac_config),
                     net.streams.stream(f"mac.backoff.{i}"),
                     tracer=net.tracer,
+                    batched=config.batched_kernel,
                 )
             )
     else:

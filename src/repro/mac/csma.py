@@ -31,7 +31,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.mac.busy_monitor import BusyMonitor
+from repro.mac.busy_monitor import ArrayBusyMonitor, BusyMonitor
 from repro.mac.mac_types import BROADCAST_MAC, MacFrame, MacFrameKind
 from repro.mac.queue import DropTailQueue
 from repro.phy.frame import PhyFrame, RxInfo
@@ -40,7 +40,7 @@ from repro.sim.engine import Simulator
 from repro.sim.process import Timer
 from repro.sim.trace import Tracer
 
-__all__ = ["CsmaMac", "MacConfig"]
+__all__ = ["CsmaMac", "MacConfig", "make_timer_batch_handler"]
 
 
 @dataclass(slots=True)
@@ -119,6 +119,7 @@ class CsmaMac:
         config: MacConfig,
         rng: np.random.Generator,
         tracer: Tracer | None = None,
+        batched: bool = False,
     ) -> None:
         self.sim = sim
         self.radio = radio
@@ -128,7 +129,10 @@ class CsmaMac:
         self.node_id = radio.node_id
 
         self.queue = DropTailQueue(sim, config.queue_capacity)
-        self.busy_monitor = BusyMonitor(sim, config.busy_window_s)
+        # ArrayBusyMonitor is the ring-buffer variant with bit-identical
+        # busy-ratio output (DESIGN.md §8); selected with the batched kernel.
+        monitor_cls = ArrayBusyMonitor if batched else BusyMonitor
+        self.busy_monitor = monitor_cls(sim, config.busy_window_s)
 
         radio.rx_callback = self._on_phy_rx
         radio.cca_callback = self._on_cca
@@ -617,3 +621,44 @@ class CsmaMac:
             f"CsmaMac(node={self.node_id}, state={self._state.value}, "
             f"qlen={len(self.queue)})"
         )
+
+
+# ---------------------------------------------------------------------- #
+# Batched timer handler (DESIGN.md §8)
+# ---------------------------------------------------------------------- #
+def make_timer_batch_handler(channel):
+    """Batch handler for same-instant :meth:`Timer._fire` events.
+
+    N backoff counters expiring in the same slot is the signature hot spot
+    of a saturated CSMA network: each expiry calls ``_transmit_current``,
+    which walks the channel's dispatch-plan cache.  This handler inspects
+    the batch *before* firing anything, collects the ``(node, tx power)``
+    pairs of MACs that are about to transmit, and pre-fills their dispatch
+    plans with one stacked propagation evaluation
+    (:meth:`~repro.phy.channel.Channel.warm_plans`) instead of N lazy
+    per-transmitter misses.
+
+    Exactness: the prefetch is a pure cache warm (the plans built are
+    bit-identical to lazily-built ones) and every ``(fn, args)`` pair then
+    fires in heap order, so observable behaviour matches the scalar engine
+    exactly.  Over-prefetching (a timer that turns out not to transmit) is
+    harmless for the same reason.
+    """
+
+    def handler(sim: Simulator, batch) -> None:
+        if len(batch) > 1:
+            pairs = []
+            for fn, _args in batch:
+                timer = fn.__self__            # Timer._fire → Timer
+                cb = timer._fn                 # bound MAC callback
+                func = getattr(cb, "__func__", None)
+                if func is CsmaMac._on_timer:
+                    mac = cb.__self__
+                    if mac._state is _ContendState.COUNTDOWN:
+                        pairs.append((mac.node_id, mac.radio.config.tx_power_w))
+            if len(pairs) > 1:
+                channel.warm_plans(pairs)
+        for fn, args in batch:
+            fn(*args)
+
+    return handler

@@ -54,6 +54,10 @@ class EngineProfiler:
         self.sample_every = sample_every
         self.events = 0  # exact, both modes
         self._timed: dict[tuple[str, str], list[float]] = {}  # key -> [n, sum]
+        # key -> [events, batches, sum]; batches are always timed exactly
+        # (one perf_counter pair amortised over the whole batch), so their
+        # wall time is never scaled by the sampling stride.
+        self._batched: dict[tuple[str, str], list[float]] = {}
 
     # ------------------------------------------------------------------ #
     # Engine-facing API (hot path)
@@ -79,37 +83,76 @@ class EngineProfiler:
         else:
             cell[0] += 1.0
 
+    def record_batch(self, fn: Callable[..., Any], dt: float, n: int) -> None:
+        """One batched execution covering ``n`` logical events of ``fn``.
+
+        The batch's wall time is attributed to ``fn``'s category whole (it
+        was measured around the single vector-handler or block call), and
+        the batch size is recorded so the report can show how well events
+        coalesced on the batched path.
+        """
+        self.events += n
+        key = _callback_key(fn)
+        cell = self._batched.get(key)
+        if cell is None:
+            self._batched[key] = [float(n), 1.0, dt]
+        else:
+            cell[0] += n
+            cell[1] += 1.0
+            cell[2] += dt
+
     # ------------------------------------------------------------------ #
     # Reporting
     # ------------------------------------------------------------------ #
     @property
     def total_time_s(self) -> float:
         """Summed (scale-corrected) callback wall time."""
-        return sum(t for _, t in self._timed.values()) * self.sample_every
+        return (
+            sum(t for _, t in self._timed.values()) * self.sample_every
+            + sum(cell[2] for cell in self._batched.values())
+        )
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-ready profile: per-callback and per-layer attribution.
 
         Wall times are estimates when ``sample_every > 1`` (scaled by the
-        stride); event counts are always exact.
+        stride); event counts are always exact.  Batched executions merge
+        into their callback's row with exact (unscaled) wall time, plus
+        ``batches`` / ``batched_events`` columns showing how the batched
+        path coalesced.
         """
         scale = float(self.sample_every)
+        merged: dict[tuple[str, str], list[float]] = {}
+        for key, (n, t) in self._timed.items():
+            merged[key] = [n, t * scale, 0.0, 0.0]
+        for key, (n, b, t) in self._batched.items():
+            cell = merged.setdefault(key, [0.0, 0.0, 0.0, 0.0])
+            cell[0] += n
+            cell[1] += t
+            cell[2] += b
+            cell[3] += n
         callbacks = []
         layers: dict[str, list[float]] = {}
-        for (layer, qualname), (n, t) in self._timed.items():
-            callbacks.append(
-                {
-                    "layer": layer,
-                    "callback": qualname,
-                    "events": int(n),
-                    "time_s": t * scale,
-                }
-            )
+        total_batches = 0
+        total_batched_events = 0
+        for (layer, qualname), (n, t, b, bn) in merged.items():
+            row: dict[str, Any] = {
+                "layer": layer,
+                "callback": qualname,
+                "events": int(n),
+                "time_s": t,
+            }
+            if b:
+                row["batches"] = int(b)
+                row["batched_events"] = int(bn)
+                total_batches += int(b)
+                total_batched_events += int(bn)
+            callbacks.append(row)
             cell = layers.setdefault(layer, [0.0, 0.0])
             cell[0] += n
-            cell[1] += t * scale
+            cell[1] += t
         callbacks.sort(key=lambda c: (-c["time_s"], c["callback"]))
-        return {
+        out: dict[str, Any] = {
             "sample_every": self.sample_every,
             "events": self.events,
             "total_time_s": self.total_time_s,
@@ -121,6 +164,10 @@ class EngineProfiler:
             },
             "callbacks": callbacks,
         }
+        if total_batches:
+            out["batches"] = total_batches
+            out["batched_events"] = total_batched_events
+        return out
 
     def report(self, top: int = 20) -> str:
         """Human-readable profile table, hottest callbacks first."""
@@ -133,6 +180,14 @@ class EngineProfiler:
         lines = [
             f"engine profile: {data['events']} events, "
             f"{data['total_time_s'] * 1e3:.1f} ms in callbacks ({mode})",
+        ]
+        if data.get("batches"):
+            lines.append(
+                f"batched path: {data['batched_events']} events in "
+                f"{data['batches']} batches "
+                f"(avg {data['batched_events'] / data['batches']:.1f}/batch)"
+            )
+        lines += [
             "",
             f"{'layer':<12} {'events':>10} {'time':>10} {'share':>7}",
         ]

@@ -48,7 +48,7 @@ import numpy as np
 
 from repro.phy.frame import PhyFrame
 from repro.phy.propagation import LogNormalShadowing, PropagationModel
-from repro.phy.radio import Radio
+from repro.phy.radio import Radio, rx_end_block, rx_start_block
 from repro.sim.engine import Simulator
 from repro.sim.errors import SimulationError
 from repro.sim.units import SPEED_OF_LIGHT
@@ -98,6 +98,13 @@ class Channel:
         grid described in the module docstring; when False every query
         scans the full position table (the exhaustive reference path, kept
         selectable for A/B determinism verification).
+    batched:
+        When True, fan-out schedules *block events* — one heap entry per
+        (frame, propagation-delay group) handled by the vectorised
+        reception kernel — instead of two events per receiver, and
+        enables the simulator's batched drain loop.  Byte-identical to
+        the scalar path (DESIGN.md §8); off by default, selectable via
+        ``ScenarioConfig(batched_kernel=True)``.
     """
 
     def __init__(
@@ -107,12 +114,25 @@ class Channel:
         track_threshold_w: float | None = None,
         propagation_delay: bool = True,
         spatial_index: bool = True,
+        batched: bool = False,
     ) -> None:
         self.sim = sim
         self.propagation = propagation
         self._track_threshold_w = track_threshold_w
         self.propagation_delay = propagation_delay
         self.spatial_index = spatial_index
+        self.batched = batched
+        if batched:
+            sim.enable_batching()
+        # Node ids of currently powered-off radios (maintained by
+        # Radio.set_power_state); lets block handlers check "everyone
+        # powered" in O(1) instead of scanning the group.
+        self._unpowered: set[int] = set()
+        # Batched fan-out: _PlanKey → (plan object, delay groups).  The
+        # groups are derived data; validating by plan object identity
+        # (``cached[0] is plan``) makes every dispatch-cache invalidation
+        # invalidate the groups for free, with no extra wiring.
+        self._block_plans: dict[_PlanKey, tuple[_Plan, list]] = {}
         self._radios: dict[int, Radio] = {}
         self._id2idx: dict[int, int] = {}
         self._id_buf: np.ndarray = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
@@ -159,6 +179,8 @@ class Channel:
             raise SimulationError(f"node {radio.node_id} already registered")
         self._radios[radio.node_id] = radio
         radio.channel = self
+        if not radio.powered:
+            self._unpowered.add(radio.node_id)
         if self._n == len(self._id_buf):
             self._id_buf = np.concatenate([self._id_buf, np.empty_like(self._id_buf)])
             self._pos_buf = np.concatenate([self._pos_buf, np.empty_like(self._pos_buf)])
@@ -452,13 +474,16 @@ class Channel:
             self._track_threshold_w = cs / 10.0
         return self._track_threshold_w
 
-    def _dispatch_plan(self, tx_node: int, tx_power_w: float) -> _Plan:
-        """(receivers, rx powers, propagation delays) for ``tx_node`` at
-        ``tx_power_w``, cached until a position change invalidates it."""
-        key = (tx_node, tx_power_w)
-        plan = self._dispatch_cache.get(key)
-        if plan is not None:
-            return plan
+    def _plan_inputs(
+        self, tx_node: int, tx_power_w: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int, bool]:
+        """Candidate gather for one dispatch evaluation.
+
+        Returns ``(tx_pos, pos, ids, self_idx, center, use_grid)`` — the
+        candidate positions/ids to evaluate propagation over, the
+        transmitter's own row index among them, and the grid cell the
+        plan must register under for incremental invalidation.
+        """
         tx_idx = self._index_of(tx_node)
         tx_pos = self._pos_buf[tx_idx]
         use_grid = self._ensure_grid()
@@ -468,8 +493,6 @@ class Channel:
             self._invalidate_all()
             self._build_grid(tx_power_w)
             use_grid = self._grid_active
-        if isinstance(self.propagation, LogNormalShadowing):
-            self.propagation.set_transmitter(tx_node)
         center = 0
         if use_grid:
             center = int(self._key_buf[tx_idx])
@@ -484,10 +507,24 @@ class Channel:
             pos = self._positions
             ids = self._ids
             self_idx = tx_idx
-        powers = np.asarray(
-            self.propagation.rx_power_many(tx_power_w, tx_pos, pos, rx_ids=ids),
-            dtype=float,
-        )
+        return tx_pos, pos, ids, self_idx, center, use_grid
+
+    def _finish_plan(
+        self,
+        key: _PlanKey,
+        tx_pos: np.ndarray,
+        pos: np.ndarray,
+        ids: np.ndarray,
+        self_idx: int,
+        center: int,
+        use_grid: bool,
+        powers: np.ndarray,
+    ) -> _Plan:
+        """Cull, delays, radio lookup, and cache registration — everything
+        downstream of the propagation evaluation.  Shared by the lazy
+        :meth:`_dispatch_plan` and the stacked :meth:`warm_plans` paths so
+        both produce (and register) identical plans."""
+        tx_node = key[0]
         if self._impairments:
             if powers.base is not None or not powers.flags.owndata:
                 powers = powers.copy()
@@ -515,17 +552,149 @@ class Channel:
                 dependents.add(key)
         return plan
 
+    def _dispatch_plan(self, tx_node: int, tx_power_w: float) -> _Plan:
+        """(receivers, rx powers, propagation delays) for ``tx_node`` at
+        ``tx_power_w``, cached until a position change invalidates it."""
+        key = (tx_node, tx_power_w)
+        plan = self._dispatch_cache.get(key)
+        if plan is not None:
+            return plan
+        tx_pos, pos, ids, self_idx, center, use_grid = self._plan_inputs(
+            tx_node, tx_power_w
+        )
+        if isinstance(self.propagation, LogNormalShadowing):
+            self.propagation.set_transmitter(tx_node)
+        powers = np.asarray(
+            self.propagation.rx_power_many(tx_power_w, tx_pos, pos, rx_ids=ids),
+            dtype=float,
+        )
+        return self._finish_plan(
+            key, tx_pos, pos, ids, self_idx, center, use_grid, powers
+        )
+
+    def warm_plans(self, pairs: "list[_PlanKey] | tuple") -> None:
+        """Precompute dispatch plans for several ``(tx_node, tx_power_w)``
+        pairs with one stacked propagation evaluation.
+
+        Called by the batched MAC timer handler when N same-instant
+        backoff expiries are about to transmit: instead of N lazy
+        :meth:`_dispatch_plan` misses, the candidate rows of every
+        uncached transmitter are concatenated and evaluated through the
+        model's elementwise :meth:`~repro.phy.propagation.PropagationModel.rx_power_pairs`
+        in one call.  Purely a cache pre-fill — the resulting plans (and
+        their invalidation registration) are bit-identical to what the
+        lazy path would build, so warming can never change simulation
+        results.
+        """
+        todo = [key for key in pairs if key not in self._dispatch_cache]
+        if not todo:
+            return
+        self._ensure_grid()
+        if (
+            len(todo) == 1
+            or isinstance(self.propagation, LogNormalShadowing)
+            or (
+                self._grid_active
+                and any(p > self._grid_power_w for _, p in todo)
+            )
+        ):
+            # Per-pair fallback: shadowing needs its per-transmitter id
+            # protocol, and a power above the grid sizing would rebuild
+            # the grid mid-gather, staling earlier pairs' cell centres.
+            for tx_node, tx_power_w in todo:
+                self._dispatch_plan(tx_node, tx_power_w)
+            return
+        inputs = [
+            (key, self._plan_inputs(key[0], key[1])) for key in todo
+        ]
+        counts = [len(inp[1][1]) for inp in inputs]
+        tx_pos_all = np.concatenate(
+            [
+                np.broadcast_to(inp[1][0], (m, 2))
+                for inp, m in zip(inputs, counts)
+            ]
+        )
+        rx_pos_all = np.concatenate([inp[1][1] for inp in inputs])
+        power_all = np.concatenate(
+            [np.full(m, key[1]) for (key, _), m in zip(inputs, counts)]
+        )
+        powers_flat = np.asarray(
+            self.propagation.rx_power_pairs(power_all, tx_pos_all, rx_pos_all),
+            dtype=float,
+        )
+        off = 0
+        for (key, (tx_pos, pos, ids, self_idx, center, use_grid)), m in zip(
+            inputs, counts
+        ):
+            self._finish_plan(
+                key, tx_pos, pos, ids, self_idx, center, use_grid,
+                powers_flat[off : off + m],
+            )
+            off += m
+
     def transmit(self, tx_node: int, frame: PhyFrame) -> None:
         """Deliver ``frame`` from ``tx_node`` to every radio in range."""
         self.transmissions += 1
-        receivers, powers, delays = self._dispatch_plan(tx_node, frame.tx_power_w)
+        plan = self._dispatch_plan(tx_node, frame.tx_power_w)
+        receivers, powers, delays = plan
         now = self.sim.now
         dur = frame.duration_s
-        schedule = self.sim.schedule
+        if self.batched and len(receivers) > 1:
+            self._transmit_batched(
+                (tx_node, frame.tx_power_w), plan, frame, now, dur
+            )
+            return
+        schedule_cb = self.sim.schedule_cb
         for k, radio in enumerate(receivers):
             t0 = now + delays[k]
-            schedule(t0, radio.on_rx_start, frame, powers[k])
-            schedule(t0 + dur, radio.on_rx_end, frame)
+            schedule_cb(t0, radio.on_rx_start, frame, powers[k])
+            schedule_cb(t0 + dur, radio.on_rx_end, frame)
+
+    def _transmit_batched(
+        self, key: _PlanKey, plan: _Plan, frame: PhyFrame, now: float, dur: float
+    ) -> None:
+        """Fan one frame out as block events, one per propagation-delay
+        group (receivers at equal delay share a heap entry).
+
+        Ordering is provably scalar-identical: within a group the block
+        handler runs receivers in plan order (= the scalar scheduling
+        order); distinct groups sit at distinct times; and an ``rx_start``
+        can never tie with this frame's ``rx_end`` because frame airtime
+        (≥ the 192 µs PLCP preamble) dwarfs the < 2 µs delay spread of a
+        ≤ 550 m interference neighbourhood.
+        """
+        cached = self._block_plans.get(key)
+        if cached is not None and cached[0] is plan:
+            groups = cached[1]
+        else:
+            by_delay: dict[float, tuple[list, list]] = {}
+            receivers, powers, delays = plan
+            for k, d in enumerate(delays):
+                g = by_delay.get(d)
+                if g is None:
+                    by_delay[d] = g = ([], [])
+                g[0].append(receivers[k])
+                g[1].append(powers[k])
+            # The trailing dict is the group's constants cache, populated
+            # lazily by the block handlers (per-radio config gathers and
+            # the error-model homogeneity check, hoisted off the hot path).
+            groups = [(d, rxs, pws, {}) for d, (rxs, pws) in by_delay.items()]
+            self._block_plans[key] = (plan, groups)
+        sim = self.sim
+        schedule_cb = sim.schedule_cb
+        schedule_block = sim.schedule_block
+        for delay, rxs, pws, cache in groups:
+            t0 = now + delay
+            if len(rxs) == 1:
+                schedule_cb(t0, rxs[0].on_rx_start, frame, pws[0])
+                schedule_cb(t0 + dur, rxs[0].on_rx_end, frame)
+            else:
+                schedule_block(
+                    t0, len(rxs), rx_start_block, rxs, frame, pws, cache
+                )
+                schedule_block(
+                    t0 + dur, len(rxs), rx_end_block, rxs, frame, cache
+                )
 
     def neighbors_within(self, node_id: int, radius_m: float) -> list[int]:
         """Node ids within ``radius_m`` of ``node_id`` (excluding itself)."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 
+import numpy as np
 from scipy.special import erfc
 
 __all__ = [
@@ -40,10 +41,35 @@ def q_function(x: float) -> float:
 class ErrorModel(ABC):
     """Maps per-segment SINR to a segment success probability."""
 
+    #: True when the model's frame decision is exactly reproducible from
+    #: array ops with **no RNG draw**: success probabilities are always 0
+    #: or 1 and the array evaluation is bit-identical to the scalar one.
+    #: Only such models are eligible for the batched reception kernel —
+    #: curve models (PSK/DSSS) go through libm (``math.exp``/``log1p``)
+    #: scalar but SIMD ufuncs vectorised, which may differ in the last ulp
+    #: and flip a Bernoulli outcome, so they are *not* flagged.
+    exact_vectorized = False
+
     @abstractmethod
     def segment_success_probability(self, sinr: float, bits: int) -> float:
         """Probability that ``bits`` consecutive bits at linear ``sinr`` are
         all received correctly (in [0, 1])."""
+
+    def segment_success_probability_many(
+        self, sinr: np.ndarray, bits: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`segment_success_probability` over aligned
+        arrays.  The base implementation loops (models override with real
+        array ops); results agree with the scalar method to float64
+        round-off, and exactly for ``exact_vectorized`` models."""
+        return np.fromiter(
+            (
+                self.segment_success_probability(float(s), int(b))
+                for s, b in zip(sinr, bits)
+            ),
+            dtype=float,
+            count=len(sinr),
+        )
 
     def frame_success_probability(
         self, segments: list[tuple[float, int]]
@@ -69,12 +95,31 @@ class SinrThresholdErrorModel(ErrorModel):
         10 dB is the classic ns-2 capture threshold.
     """
 
+    # p ∈ {0, 1} per segment and the frame product reduces to a single
+    # min-SINR compare — no RNG ever, so the batched kernel may use it.
+    exact_vectorized = True
+
     def __init__(self, threshold_db: float = 10.0) -> None:
         self.threshold_db = threshold_db
         self._threshold_linear = 10.0 ** (threshold_db / 10.0)
 
     def segment_success_probability(self, sinr: float, bits: int) -> float:
         return 1.0 if sinr >= self._threshold_linear else 0.0
+
+    def segment_success_probability_many(
+        self, sinr: np.ndarray, bits: np.ndarray
+    ) -> np.ndarray:
+        return (np.asarray(sinr) >= self._threshold_linear).astype(float)
+
+    def frame_ok_many(self, min_sinrs: np.ndarray) -> np.ndarray:
+        """Whole-frame outcomes from per-frame minimum SINRs.
+
+        Exactly equivalent to the scalar path: the frame success product
+        is 1 iff every closed segment clears the threshold, i.e. iff the
+        running ``min_sinr`` does (an empty segment list leaves
+        ``min_sinr = inf``, matching the empty product's 1.0).
+        """
+        return np.asarray(min_sinrs) >= self._threshold_linear
 
 
 class PskErrorModel(ErrorModel):
@@ -112,6 +157,26 @@ class PskErrorModel(ErrorModel):
             return 0.0 if bits > 8 else (1.0 - ber) ** bits
         # log-space product avoids underflow for long frames
         return math.exp(bits * math.log1p(-ber))
+
+    def segment_success_probability_many(
+        self, sinr: np.ndarray, bits: np.ndarray
+    ) -> np.ndarray:
+        sinr = np.asarray(sinr, dtype=float)
+        bits = np.asarray(bits, dtype=float)
+        pos = np.maximum(sinr, 0.0)
+        k = self.bits_per_symbol
+        if k == 1:
+            ber = 0.5 * erfc(np.sqrt(2.0 * pos) / math.sqrt(2.0))
+        else:
+            m = 2**k
+            arg = np.sqrt(2.0 * k * pos) * math.sin(math.pi / m)
+            ber = np.minimum(0.5, (2.0 / k) * 0.5 * erfc(arg / math.sqrt(2.0)))
+        ber = np.where(sinr <= 0, 0.5, ber)
+        # numpy's exp/log1p may differ from libm in the last ulp — close
+        # enough for curves and benchmarks, but this is why PSK is not
+        # exact_vectorized (see ErrorModel.exact_vectorized).
+        p = np.exp(bits * np.log1p(-ber))
+        return np.where(ber >= 0.5, np.where(bits > 8, 0.0, (1.0 - ber) ** bits), p)
 
 
 class Dsss11ErrorModel(ErrorModel):
@@ -154,3 +219,14 @@ class Dsss11ErrorModel(ErrorModel):
         if ber >= 0.5:
             return 0.0 if bits > 8 else (1.0 - ber) ** bits
         return math.exp(bits * math.log1p(-ber))
+
+    def segment_success_probability_many(
+        self, sinr: np.ndarray, bits: np.ndarray
+    ) -> np.ndarray:
+        sinr = np.asarray(sinr, dtype=float)
+        bits = np.asarray(bits, dtype=float)
+        pos = np.maximum(sinr, 0.0)
+        ber = np.minimum(0.5, 0.5 * erfc(np.sqrt(2.0 * self._gain * pos) / math.sqrt(2.0)))
+        ber = np.where(sinr <= 0, 0.5, ber)
+        p = np.exp(bits * np.log1p(-ber))
+        return np.where(ber >= 0.5, np.where(bits > 8, 0.0, (1.0 - ber) ** bits), p)

@@ -45,6 +45,16 @@ def _distances(tx_pos: np.ndarray, rx_pos: np.ndarray) -> np.ndarray:
     return np.maximum(d, MIN_DISTANCE_M)
 
 
+def _pair_distances(tx_pos: np.ndarray, rx_pos: np.ndarray) -> np.ndarray:
+    """Row-wise distances between aligned ``(n, 2)`` arrays, clamped.
+
+    The same ``hypot``/``maximum`` ufunc chain as :func:`_distances`, so a
+    pair's distance is bit-identical whichever form computed it.
+    """
+    d = np.hypot(rx_pos[:, 0] - tx_pos[:, 0], rx_pos[:, 1] - tx_pos[:, 1])
+    return np.maximum(d, MIN_DISTANCE_M)
+
+
 class PropagationModel(ABC):
     """Deterministic path-loss model interface."""
 
@@ -59,6 +69,45 @@ class PropagationModel(ABC):
         ``rx_ids`` carries the receiver node ids aligned with ``rx_pos``;
         only shadowing models need it (to key the per-link offset).
         """
+
+    def rx_power_pairs(
+        self, tx_power_w: "np.ndarray | float", tx_pos: np.ndarray,
+        rx_pos: np.ndarray, tx_ids: np.ndarray | None = None,
+        rx_ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Received power for *aligned* (tx, rx) pairs.
+
+        ``tx_pos`` and ``rx_pos`` are both ``(n, 2)``; row *i* is one
+        transmitter→receiver pair (``tx_power_w`` broadcasts).  The
+        channel's batched path stacks several transmitters' dispatch
+        evaluations into one call this way.
+
+        **Exactness contract:** for the deterministic models this must be
+        bit-identical to evaluating :meth:`rx_power_many` per transmitter
+        — their overrides use the same elementwise ufunc chains, which
+        numpy evaluates per element regardless of how rows are stacked.
+        The base implementation loops per pair (correct for any model
+        whose result depends only on the pair).
+        """
+        tx_pos = np.asarray(tx_pos, dtype=float)
+        rx_pos = np.asarray(rx_pos, dtype=float)
+        n = len(rx_pos)
+        power = np.broadcast_to(
+            np.asarray(tx_power_w, dtype=float), (n,)
+        )
+        return np.fromiter(
+            (
+                self.rx_power_many(
+                    float(power[i]),
+                    tx_pos[i],
+                    rx_pos[i : i + 1],
+                    rx_ids=None if rx_ids is None else rx_ids[i : i + 1],
+                )[0]
+                for i in range(n)
+            ),
+            dtype=float,
+            count=n,
+        )
 
     def rx_power(
         self, tx_power_w: float, tx_pos: np.ndarray, rx_pos: np.ndarray,
@@ -156,6 +205,14 @@ class FreeSpace(PropagationModel):
         d = _distances(tx_pos, rx_pos)
         return tx_power_w * self._k / (d * d)
 
+    def rx_power_pairs(
+        self, tx_power_w: "np.ndarray | float", tx_pos: np.ndarray,
+        rx_pos: np.ndarray, tx_ids: np.ndarray | None = None,
+        rx_ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        d = _pair_distances(np.asarray(tx_pos, float), np.asarray(rx_pos, float))
+        return tx_power_w * self._k / (d * d)
+
 
 class TwoRayGround(PropagationModel):
     """Two-ray ground reflection model (ns-2's WMN default).
@@ -197,6 +254,16 @@ class TwoRayGround(PropagationModel):
         far = tx_power_w * self._k4 / (d**4)
         return np.where(d < self.crossover_m, near, far)
 
+    def rx_power_pairs(
+        self, tx_power_w: "np.ndarray | float", tx_pos: np.ndarray,
+        rx_pos: np.ndarray, tx_ids: np.ndarray | None = None,
+        rx_ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        d = _pair_distances(np.asarray(tx_pos, float), np.asarray(rx_pos, float))
+        near = tx_power_w * self._friis._k / (d * d)
+        far = tx_power_w * self._k4 / (d**4)
+        return np.where(d < self.crossover_m, near, far)
+
 
 class LogDistance(PropagationModel):
     """Log-distance path loss: ``PL(d) = PL(d0) + 10·n·log10(d/d0)`` dB.
@@ -230,6 +297,17 @@ class LogDistance(PropagationModel):
         rx_ids: np.ndarray | None = None,
     ) -> np.ndarray:
         d = np.maximum(_distances(tx_pos, rx_pos), self.d0)
+        return tx_power_w * self._g0 * (self.d0 / d) ** self.exponent
+
+    def rx_power_pairs(
+        self, tx_power_w: "np.ndarray | float", tx_pos: np.ndarray,
+        rx_pos: np.ndarray, tx_ids: np.ndarray | None = None,
+        rx_ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        d = np.maximum(
+            _pair_distances(np.asarray(tx_pos, float), np.asarray(rx_pos, float)),
+            self.d0,
+        )
         return tx_power_w * self._g0 * (self.d0 / d) ** self.exponent
 
 
@@ -296,6 +374,31 @@ class LogNormalShadowing(PropagationModel):
             return p
         offs = np.fromiter(
             (self._offset_db(self._tx_id, int(r)) for r in rx_ids),
+            dtype=float,
+            count=len(rx_ids),
+        )
+        p *= 10.0 ** (offs / 10.0)
+        return p
+
+    def rx_power_pairs(
+        self, tx_power_w: "np.ndarray | float", tx_pos: np.ndarray,
+        rx_pos: np.ndarray, tx_ids: np.ndarray | None = None,
+        rx_ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        # Per-pair transmitter ids replace the set_transmitter() protocol;
+        # without both id arrays the shadowing term cannot be keyed, so the
+        # channel's batched path falls back to per-transmitter dispatch
+        # for this model anyway.
+        p = np.asarray(
+            self.base.rx_power_pairs(tx_power_w, tx_pos, rx_pos), dtype=float
+        ).copy()
+        if self.sigma_db == 0.0 or tx_ids is None or rx_ids is None:
+            return p
+        offs = np.fromiter(
+            (
+                self._offset_db(int(t), int(r))
+                for t, r in zip(tx_ids, rx_ids)
+            ),
             dtype=float,
             count=len(rx_ids),
         )

@@ -29,13 +29,20 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.phy import sinr_kernel
 from repro.phy.error_models import ErrorModel, SinrThresholdErrorModel
 from repro.phy.frame import PhyFrame, RxInfo
 from repro.sim.engine import Simulator
 from repro.sim.errors import SimulationError
 from repro.sim.trace import Tracer
 
-__all__ = ["PhyConfig", "Radio", "RadioState"]
+__all__ = [
+    "PhyConfig",
+    "Radio",
+    "RadioState",
+    "rx_start_block",
+    "rx_end_block",
+]
 
 
 class RadioState(enum.Enum):
@@ -146,6 +153,7 @@ class Radio:
         self.channel: Any = None  # set by Channel.register
 
         self.state = RadioState.IDLE
+        self._state_code = sinr_kernel.ST_IDLE  # int mirror for batched gathers
         self.powered = True
         self._arriving: dict[int, tuple[PhyFrame, float]] = {}
         # Frames whose rx_end must be ignored because the radio was off at
@@ -177,6 +185,7 @@ class Radio:
         if new_state is self.state:
             return
         self.state = new_state
+        self._state_code = _STATE_CODE[new_state]
         if self.state_listener is not None:
             self.state_listener(new_state)
 
@@ -219,6 +228,14 @@ class Radio:
         if on == self.powered:
             return
         self.powered = on
+        ch = self.channel
+        if ch is not None:
+            # Keep the channel's unpowered-radio set current so the block
+            # handlers' all-powered fast check stays O(1).
+            if on:
+                ch._unpowered.discard(self.node_id)
+            else:
+                ch._unpowered.add(self.node_id)
         if not on:
             if self._current is not None:
                 self._abort_current("powered_off")
@@ -392,6 +409,17 @@ class Radio:
 
         p_ok = self.error_model.frame_success_probability(cur.segments)
         ok = p_ok >= 1.0 or (p_ok > 0.0 and self.rng.random() < p_ok)
+        self._deliver(cur, rx_power_w, ok, p_ok)
+
+    def _deliver(
+        self, cur: _Reception, rx_power_w: float, ok: bool, p_ok: float
+    ) -> None:
+        """Outcome effects of a completed reception (stats, trace, upcall).
+
+        Split from :meth:`_finish_current` so the batched ``rx_end`` block
+        handler can inject a vectorised frame decision and still run the
+        observable effects through the one shared code path.
+        """
         if ok:
             self.frames_received += 1
             info = RxInfo(
@@ -419,3 +447,286 @@ class Radio:
             f"Radio(node={self.node_id}, state={self.state.value}, "
             f"impinging={self._impinging_w:.3e} W)"
         )
+
+
+# ---------------------------------------------------------------------- #
+# Batched reception: block-event handlers (DESIGN.md §8)
+# ---------------------------------------------------------------------- #
+# The channel's batched path schedules one block event per (frame, delay
+# group) instead of one event per receiver; these module-level handlers
+# process all the group's radios in one call.  Decisions that the scalar
+# path makes per-radio are evaluated through the array kernel
+# (:mod:`repro.phy.sinr_kernel`); effects are then applied per radio *in
+# receiver order*, so traces, callbacks, schedules and RNG draws happen in
+# exactly the scalar sequence.  Correctness of the two-pass split rests on
+# one repo-wide invariant: no radio/MAC callback synchronously touches
+# another node's radio — cross-node interaction always goes through newly
+# scheduled events.
+
+#: RadioState → :mod:`~repro.phy.sinr_kernel` state code.
+_STATE_CODE = {
+    RadioState.IDLE: sinr_kernel.ST_IDLE,
+    RadioState.RX: sinr_kernel.ST_RX,
+    RadioState.TX: sinr_kernel.ST_TX,
+}
+
+#: Below this many receivers the array set-up costs more than it saves and
+#: the block handlers run the plain per-radio loop instead.
+_MIN_VECTOR = 4
+
+_INF = float("inf")
+
+
+def _group_constants(receivers: list[Radio]) -> dict:
+    """Per-radio constants for one receiver group, gathered once.
+
+    Everything here is fixed at construction time — per-radio
+    :class:`PhyConfig` thresholds and the error-model instance are never
+    mutated mid-run anywhere in the repo (failure injection toggles
+    ``powered``, not thresholds) — so the channel caches this dict
+    alongside the delay group and the block handlers skip re-gathering it
+    on every slot.
+
+    ``shared_model`` is the one error model shared (by type and threshold
+    value) by the whole group when all of them run the exact
+    :class:`SinrThresholdErrorModel`, else ``None`` — the homogeneity
+    criterion of DESIGN.md §8, hoisted out of the per-slot path.
+    """
+    n = len(receivers)
+    m0 = receivers[0].error_model
+    shared = None
+    if type(m0) is SinrThresholdErrorModel and all(
+        type(r.error_model) is SinrThresholdErrorModel
+        and r.error_model._threshold_linear == m0._threshold_linear
+        for r in receivers
+    ):
+        shared = m0
+    return {
+        "thr": np.fromiter(
+            (r.config.rx_threshold_w for r in receivers), dtype=float, count=n
+        ),
+        "ratio": np.fromiter(
+            (r.config.capture_ratio for r in receivers), dtype=float, count=n
+        ),
+        "cap_en": np.fromiter(
+            (r.config.capture_enabled for r in receivers), dtype=bool, count=n
+        ),
+        # Python-float list: read per radio in the inlined CCA check.
+        "cs_thr": [r.config.cs_threshold_w for r in receivers],
+        "shared_model": shared,
+    }
+
+
+def rx_start_block(
+    receivers: list[Radio],
+    frame: PhyFrame,
+    powers: list[float],
+    cache: dict | None = None,
+) -> None:
+    """One frame's signal begins impinging on a group of radios at once.
+
+    Byte-identical to calling ``radio.on_rx_start(frame, power)`` over the
+    group in order: the lock/capture/reseed decision for each radio reads
+    only that radio's own pre-block state, so evaluating all decisions
+    up front from a state snapshot cannot change any of them.  The CCA
+    update is inlined (same computation as :meth:`Radio._update_cca`;
+    skipping the call when the busy flag cannot have changed is
+    unobservable).
+
+    ``cache`` is the channel's per-group slot for :func:`_group_constants`
+    (populated lazily on first use); direct callers may omit it.
+    """
+    n = len(receivers)
+    # The channel's unpowered-radio set makes the common all-powered case
+    # an O(1) check; channel-less radios (direct calls) get the full scan.
+    ch = receivers[0].channel
+    powered_ok = (
+        not ch._unpowered
+        if ch is not None
+        else all(r.powered for r in receivers)
+    )
+    if n < _MIN_VECTOR or not powered_ok:
+        # Rare shapes (tiny groups, powered-off members) go through the
+        # scalar method — which *is* the reference semantics.
+        for k in range(n):
+            receivers[k].on_rx_start(frame, powers[k])
+        return
+    if cache is None:
+        cache = {}
+    consts = cache.get("consts")
+    if consts is None:
+        consts = cache["consts"] = _group_constants(receivers)
+    cs_thr = consts["cs_thr"]
+    uid = frame.uid
+    states = np.fromiter(
+        (r._state_code for r in receivers), dtype=np.int8, count=n
+    )
+    if not states.any():
+        # Every radio IDLE — the saturated-slot common case (a fresh frame
+        # arriving between receptions).  The action vector is then the
+        # group-constant threshold mask: lock iff the frame is strong.
+        actions = consts.get("idle_actions")
+        if actions is None:
+            strong = np.asarray(powers, dtype=float) >= consts["thr"]
+            actions = consts["idle_actions"] = np.where(
+                strong, sinr_kernel.ACT_LOCK, sinr_kernel.ACT_NONE
+            ).tolist()
+        for k in range(n):
+            r = receivers[k]
+            p = powers[k]  # Python float from the plan list, as scalar path
+            r._arriving[uid] = (frame, p)
+            imp = r._impinging_w + p
+            r._impinging_w = imp
+            if actions[k]:
+                r._lock(frame, p)
+                busy = True  # locking leaves the radio in RX → CCA busy
+            else:
+                busy = imp >= cs_thr[k]
+            if busy != r._cca_busy:
+                r._cca_busy = busy
+                cb = r.cca_callback
+                if cb is not None:
+                    cb(busy)
+        return
+    cur_powers = np.fromiter(
+        (
+            r._current.rx_power_w if r._current is not None else _INF
+            for r in receivers
+        ),
+        dtype=float,
+        count=n,
+    )
+    actions = sinr_kernel.capture_actions(
+        powers, states, cur_powers,
+        consts["thr"], consts["ratio"], consts["cap_en"],
+    ).tolist()
+    nonidle = (states != sinr_kernel.ST_IDLE).tolist()
+    for k in range(n):
+        r = receivers[k]
+        p = powers[k]  # Python float from the plan list, as scalar path
+        r._arriving[uid] = (frame, p)
+        imp = r._impinging_w + p
+        r._impinging_w = imp
+        a = actions[k]
+        if a:
+            if a == sinr_kernel.ACT_LOCK:
+                r._lock(frame, p)
+            elif a == sinr_kernel.ACT_RESEED:
+                r._reseed_segment()
+            else:
+                r.frames_captured += 1
+                r._abort_current("captured")
+                r._lock(frame, p)
+            # Every non-NONE action leaves the radio in RX → CCA busy.
+            busy = True
+        else:
+            # NONE = TX interference, or IDLE below the rx threshold;
+            # neither changes state, so busy is decided by energy alone.
+            busy = nonidle[k] or imp >= cs_thr[k]
+        if busy != r._cca_busy:
+            r._cca_busy = busy
+            cb = r.cca_callback
+            if cb is not None:
+                cb(busy)
+
+
+def rx_end_block(
+    receivers: list[Radio], frame: PhyFrame, cache: dict | None = None
+) -> None:
+    """One frame's signal stops impinging on a group of radios at once.
+
+    Two passes: pass 1 performs each radio's pure bookkeeping (arrival
+    tables, impinging power, SINR segment closure) — verified free of
+    observable effects — then the frame decisions for every finishing
+    receiver are evaluated in one array op when their error models permit
+    (``exact_vectorized``, no RNG), and pass 2 applies the observable
+    effects (state change, stats, traces, callbacks, CCA) per radio in
+    receiver order, exactly as the scalar sequence interleaves them.
+    """
+    if cache is None:
+        cache = {}
+    consts = cache.get("consts")
+    if consts is None:
+        consts = cache["consts"] = _group_constants(receivers)
+    cs_thr = consts["cs_thr"]
+    uid = frame.uid
+    n = len(receivers)
+    # Pass 1: pure bookkeeping, in receiver order.  ``fin`` maps group
+    # index → (finished reception, rx power); ``skipped`` holds indices of
+    # radios ignoring this frame (powered off at its rx_start) — the
+    # scalar path returns before _update_cca for those.
+    fin: dict[int, tuple[_Reception, float]] = {}
+    skipped: set[int] | None = None
+    for k in range(n):
+        r = receivers[k]
+        if uid in r._ignore_rx_end:
+            r._ignore_rx_end.discard(uid)
+            if skipped is None:
+                skipped = set()
+            skipped.add(k)
+            continue
+        entry = r._arriving.pop(uid, None)
+        if entry is None:  # pragma: no cover - channel/radio invariant
+            raise SimulationError(
+                f"radio {r.node_id}: rx_end for unknown frame {uid}"
+            )
+        rx_power_w = entry[1]
+        # Same value as the scalar path's max(0.0, ...) — max() returns
+        # +0.0 for both the 0.0 and -0.0 cases, as does this conditional.
+        imp = r._impinging_w - rx_power_w
+        r._impinging_w = imp if imp > 0.0 else 0.0
+        cur = r._current
+        if cur is not None:
+            if cur.frame.uid == uid:
+                r._close_segment(cur)
+                r._current = None
+                fin[k] = (cur, rx_power_w)
+            else:
+                r._reseed_segment()
+
+    # Vectorised frame decision: only when every finishing radio runs the
+    # exact threshold model (frame success ≡ min-SINR compare, no RNG
+    # draw) with one shared threshold (precomputed per group).  Anything
+    # else — curve models, mixed models — falls back to the per-radio
+    # scalar decision below, which is the reference computation verbatim.
+    oks = None
+    model = consts["shared_model"]
+    if model is not None and len(fin) >= 2:
+        # dict preserves insertion order = ascending k, matching pass 2.
+        min_sinrs = np.fromiter(
+            (cur.min_sinr for cur, _ in fin.values()),
+            dtype=float,
+            count=len(fin),
+        )
+        oks = model.frame_ok_many(min_sinrs).tolist()
+
+    # Pass 2: observable effects, in receiver order.
+    i = 0
+    idle_state = RadioState.IDLE
+    get_fin = fin.get
+    for k in range(n):
+        if skipped is not None and k in skipped:
+            continue
+        r = receivers[k]
+        e = get_fin(k)
+        if e is not None:
+            cur, rx_power_w = e
+            r._set_state(idle_state)
+            if oks is None:
+                p_ok = r.error_model.frame_success_probability(cur.segments)
+                ok = p_ok >= 1.0 or (p_ok > 0.0 and r.rng.random() < p_ok)
+            else:
+                ok = oks[i]
+                # Threshold-model p is always exactly 0 or 1, so the
+                # rx_error trace detail stays byte-identical.
+                p_ok = 1.0 if ok else 0.0
+            i += 1
+            r._deliver(cur, rx_power_w, ok, p_ok)
+        # Inlined Radio._update_cca (same computation; skipping the call
+        # when the flag cannot change is unobservable).
+        busy = r.state is not idle_state or r._impinging_w >= cs_thr[k]
+        if busy != r._cca_busy:
+            r._cca_busy = busy
+            cb = r.cca_callback
+            if cb is not None:
+                cb(busy)

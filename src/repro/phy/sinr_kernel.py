@@ -1,0 +1,133 @@
+"""Vectorised SINR/capture decision kernel (batched reception path).
+
+When the channel fans one transmission out to N receivers as a block event
+(DESIGN.md §8), every receiver faces the same branch structure at
+``rx_start`` — lock / capture / reseed / ignore — and, at ``rx_end``, the
+same frame-success decision.  This module evaluates those decisions across
+all N receivers with array ops instead of N Python branch chains.
+
+The functions here are *pure*: they read snapshots of per-radio state and
+return decisions, mutating nothing.  :mod:`repro.phy.radio`'s block
+handlers apply the decisions per-receiver afterwards, in receiver order,
+so the observable effect sequence (traces, callbacks, RNG draws) is
+exactly the scalar loop's.
+
+Exactness: every operation is an elementwise float64 compare or multiply
+— numpy evaluates these bit-identically to the equivalent scalar Python
+expression, so the decisions can never diverge from ``Radio.on_rx_start``
+/ ``Radio._finish_current``.  (Curve error models whose probabilities go
+through transcendental functions are excluded by the
+``ErrorModel.exact_vectorized`` gate.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ACT_NONE",
+    "ACT_LOCK",
+    "ACT_CAPTURE",
+    "ACT_RESEED",
+    "ST_IDLE",
+    "ST_RX",
+    "ST_TX",
+    "capture_actions",
+    "frame_success_many",
+]
+
+# Per-receiver rx_start actions (mirror Radio.on_rx_start's branches).
+ACT_NONE = 0     # pure interference (TX state, or IDLE below threshold)
+ACT_LOCK = 1     # IDLE radio locks onto the frame
+ACT_CAPTURE = 2  # stronger late arrival steals the lock from the current frame
+ACT_RESEED = 3   # locked radio closes its SINR segment and re-seeds
+
+# Radio state codes (RadioState → int snapshot).
+ST_IDLE = 0
+ST_RX = 1
+ST_TX = 2
+
+
+def capture_actions(
+    powers: np.ndarray,
+    states: np.ndarray,
+    cur_powers: np.ndarray,
+    rx_threshold_w: np.ndarray | float,
+    capture_ratio: np.ndarray | float,
+    capture_enabled: np.ndarray | bool,
+) -> np.ndarray:
+    """Per-receiver ``rx_start`` action codes for one arriving frame.
+
+    Parameters
+    ----------
+    powers:
+        Received power of the arriving frame at each radio (W).
+    states:
+        Radio state codes (``ST_IDLE`` / ``ST_RX`` / ``ST_TX``).
+    cur_powers:
+        For radios in RX, the locked frame's received power; any value
+        (conventionally ``inf``) for the rest — those rows are never read
+        through the capture compare's result.
+    rx_threshold_w, capture_ratio, capture_enabled:
+        Per-radio PHY parameters (scalars broadcast).
+
+    Exactly reproduces, row by row, the branch structure of
+    :meth:`repro.phy.radio.Radio.on_rx_start`:
+
+    * IDLE and ``power >= rx_threshold_w`` → ``ACT_LOCK``
+    * RX and capture enabled and ``power >= rx_threshold_w`` and
+      ``power >= cur_power * capture_ratio`` → ``ACT_CAPTURE``
+    * RX otherwise → ``ACT_RESEED``
+    * TX (or IDLE below threshold) → ``ACT_NONE``
+    """
+    powers = np.asarray(powers, dtype=float)
+    states = np.asarray(states)
+    cur_powers = np.asarray(cur_powers, dtype=float)
+    strong = powers >= rx_threshold_w
+    actions = np.zeros(len(powers), dtype=np.int8)
+    actions[(states == ST_IDLE) & strong] = ACT_LOCK
+    rx = states == ST_RX
+    # Same multiply-then-compare the scalar path performs; elementwise
+    # float64, so the outcome can never differ from the scalar branch.
+    cap = rx & capture_enabled & strong & (powers >= cur_powers * capture_ratio)
+    actions[cap] = ACT_CAPTURE
+    actions[rx & ~cap] = ACT_RESEED
+    return actions
+
+
+def frame_success_many(
+    model,
+    sinr: np.ndarray,
+    bits: np.ndarray,
+    offsets: np.ndarray,
+) -> np.ndarray:
+    """Per-frame success probabilities over concatenated segment arrays.
+
+    ``sinr``/``bits`` hold every frame's segments back to back;
+    ``offsets[i]`` is where frame *i*'s segments start.  Equivalent to
+    calling ``model.frame_success_probability`` per frame (without the
+    early-out at p == 0, which does not change the product), with the
+    per-segment probabilities evaluated through the model's vectorised
+    ``segment_success_probability_many``.  Frames with zero segments get
+    the empty product, 1.0.
+
+    Precondition: every segment has ``bits >= 1`` (what
+    ``Radio._close_segment`` emits); segments with non-positive bit
+    counts would be skipped by the scalar path but not here.
+    """
+    sinr = np.asarray(sinr, dtype=float)
+    bits = np.asarray(bits, dtype=float)
+    offsets = np.asarray(offsets, dtype=np.intp)
+    n = len(offsets)
+    out = np.ones(n)
+    if n == 0 or len(sinr) == 0:
+        return out
+    p = model.segment_success_probability_many(sinr, bits)
+    ends = np.append(offsets[1:], len(p))
+    nonempty = ends > offsets
+    # reduceat would return p[offsets[i]] (not 1.0) for an empty frame;
+    # restricting the index list to non-empty frames sidesteps the quirk
+    # without changing any other frame's grouping.
+    if nonempty.any():
+        out[nonempty] = np.multiply.reduceat(p, offsets[nonempty])
+    return out

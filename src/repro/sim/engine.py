@@ -18,6 +18,36 @@ Design notes
 * The clock never goes backwards.  Scheduling strictly in the past raises
   :class:`~repro.sim.errors.SchedulingError`; scheduling *at* the current
   time is allowed (zero-delay events are common in layered protocol stacks).
+* Fired entry lists are recycled through a bounded free pool, so the
+  steady-state loop allocates no per-event list objects.  Handles snapshot
+  their entry's ``seq`` and treat a mismatch as "already fired", which
+  keeps recycled entries invisible to stale handles.
+
+Batched execution (DESIGN.md §8)
+--------------------------------
+Two opt-in mechanisms let homogeneous event storms execute as one Python
+call while preserving the scalar loop's exact ordering semantics:
+
+* **Block events** (:meth:`Simulator.schedule_block`) — one heap entry
+  standing for ``count`` logical events that share a timestamp, priority
+  and handler.  The producer (e.g. the channel fanning one transmission
+  out to N receivers) groups its same-instant schedule calls into a
+  single entry; ``events_executed`` still advances by ``count``.
+* **Batch handlers** (:meth:`Simulator.register_batch_handler`) — when the
+  drain loop pops an event whose callback kind (the underlying function
+  of a bound method) is registered, it collects the maximal run of
+  consecutive pending entries with the *same time, priority and kind* and
+  hands them to the vector handler as one call.  Heterogeneous or
+  unregistered events fall back to the scalar dispatch unchanged.
+
+Both paths mark every covered entry fired *before* user code runs, and the
+batch is formed purely from heap order — so the sequence of callback
+executions (and therefore every downstream ``schedule`` call and RNG draw)
+is identical to the scalar loop's.  Handler contract: a vector handler must
+execute every ``(fn, args)`` pair it is given, in order, and same-kind
+same-instant events must not cancel each other (none of the repo's event
+kinds do — cross-node interaction always goes through newly scheduled
+events).
 """
 
 from __future__ import annotations
@@ -35,11 +65,17 @@ __all__ = ["EventHandle", "Simulator"]
 #: events scheduled for the same instant.
 DEFAULT_PRIORITY = 0
 
-# Heap-entry slots (plain lists for C-speed heap comparisons).
+# Heap-entry slots (plain lists for C-speed heap comparisons).  Block
+# entries carry a seventh slot, _COUNT; list comparison never reaches it
+# because ``seq`` (slot 2) is unique.
 _TIME, _PRIORITY, _SEQ, _STATE, _FN, _ARGS = range(6)
+_COUNT = 6
 
-# Entry states.
-_PENDING, _FIRED, _CANCELLED = range(3)
+# Entry states.  _PENDING_NOHANDLE marks entries created by the
+# fire-and-forget :meth:`Simulator.schedule_cb` path: no EventHandle can
+# reference them, so the run loop may recycle their lists through the free
+# pool after they fire.  "Still pending" is therefore ``state < _FIRED``.
+_PENDING, _PENDING_NOHANDLE, _FIRED, _CANCELLED = range(4)
 
 # Heap compaction: once at least this many cancelled entries linger *and*
 # they outnumber the live ones, the heap is rebuilt in place.  Rebuilding
@@ -49,12 +85,27 @@ _PENDING, _FIRED, _CANCELLED = range(3)
 # every subsequent push/pop gets a log of a much smaller n.
 _COMPACT_MIN_DEAD = 1024
 
+# Bound on the fired-entry free pool.  Deep enough to absorb one
+# transmission's receiver fan-out plus the timer churn behind it; small
+# enough that an event storm's transient doesn't pin memory.
+_POOL_MAX = 1024
+
+# Module-level bindings: global lookup beats the attribute chain in the
+# schedule hot path, and the chained ``now <= t < inf`` compare subsumes
+# the old ``isfinite`` call (NaN fails both sides, +inf fails the right).
+_heappush = heapq.heappush
+_INF = math.inf
+
 
 class EventHandle:
     """Opaque handle returned by :meth:`Simulator.schedule`.
 
     Supports O(1) cancellation and queries.  ``expired`` becomes true once
     the event has either fired or been cancelled.
+
+    Entries with a handle are never recycled through the engine's free
+    pool (only the handle-less ``schedule_cb`` fast path feeds it), so a
+    handle's view of its entry stays valid for the handle's lifetime.
     """
 
     __slots__ = ("_entry", "_sim")
@@ -76,7 +127,7 @@ class EventHandle:
     @property
     def expired(self) -> bool:
         """True once the event has fired or been cancelled."""
-        return self._entry[_STATE] != _PENDING
+        return self._entry[_STATE] >= _FIRED
 
     def cancel(self) -> None:
         """Cancel the event.
@@ -86,7 +137,7 @@ class EventHandle:
         SchedulingError
             If the event already fired or was already cancelled.
         """
-        if self._entry[_STATE] != _PENDING:
+        if self._entry[_STATE] >= _FIRED:
             raise SchedulingError("event already fired or was already cancelled")
         self._entry[_STATE] = _CANCELLED
         self._entry[_FN] = None
@@ -117,7 +168,8 @@ class Simulator:
     """
 
     __slots__ = ("_now", "_heap", "_seq", "_running", "_stopped",
-                 "_events_executed", "_dead", "_profiler")
+                 "_events_executed", "_dead", "_profiler", "_pool",
+                 "_batch_handlers", "_batch_mode")
 
     def __init__(self, start_time: float = 0.0) -> None:
         if not math.isfinite(start_time):
@@ -130,6 +182,9 @@ class Simulator:
         self._events_executed = 0
         self._dead = 0  # cancelled entries still sitting in the heap
         self._profiler = None  # opt-in wall-time attribution (repro.obs)
+        self._pool: list[list] = []  # recycled fired entry lists
+        self._batch_handlers: dict[Any, Callable] = {}
+        self._batch_mode = False
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -185,14 +240,48 @@ class Simulator:
         SchedulingError
             If ``time`` is in the past or not finite.
         """
-        if time < self._now or not math.isfinite(time):
+        if not (self._now <= time < _INF):
             raise SchedulingError(
                 f"cannot schedule at t={time!r} (now={self._now:.9f})"
             )
         entry = [time, priority, self._seq, _PENDING, fn, args]
         self._seq += 1
-        heapq.heappush(self._heap, entry)
+        _heappush(self._heap, entry)
         return EventHandle(entry, self)
+
+    def schedule_cb(
+        self,
+        time: float,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`EventHandle`.
+
+        Identical scheduling semantics (same validation, same ``seq``
+        consumption, same ordering) minus the handle allocation — for hot
+        paths that never cancel, e.g. the channel's per-receiver fan-out.
+        Entry lists come from (and return to) the engine's bounded free
+        pool, so the steady-state fan-out path allocates nothing.
+        """
+        if not (self._now <= time < _INF):
+            raise SchedulingError(
+                f"cannot schedule at t={time!r} (now={self._now:.9f})"
+            )
+        seq = self._seq
+        pool = self._pool
+        if pool:
+            entry = pool.pop()
+            entry[_TIME] = time
+            entry[_PRIORITY] = priority
+            entry[_SEQ] = seq
+            entry[_STATE] = _PENDING_NOHANDLE
+            entry[_FN] = fn
+            entry[_ARGS] = args
+        else:
+            entry = [time, priority, seq, _PENDING_NOHANDLE, fn, args]
+        self._seq = seq + 1
+        _heappush(self._heap, entry)
 
     def schedule_in(
         self,
@@ -207,6 +296,70 @@ class Simulator:
         return self.schedule(self._now + delay, fn, *args, priority=priority)
 
     # ------------------------------------------------------------------ #
+    # Batched execution (opt-in; see module docstring and DESIGN.md §8)
+    # ------------------------------------------------------------------ #
+    @property
+    def batching(self) -> bool:
+        """True once the batched drain loop is active for this simulator."""
+        return self._batch_mode
+
+    def enable_batching(self) -> None:
+        """Switch :meth:`run` to the batched drain loop.
+
+        Must happen before the simulator is running — the scalar loop does
+        not understand block entries, so flipping mid-drain would corrupt
+        event accounting.
+        """
+        if self._running and not self._batch_mode:
+            raise SchedulingError("cannot enable batching while running")
+        self._batch_mode = True
+
+    def register_batch_handler(
+        self, kind: Callable[..., None], handler: Callable[["Simulator", list], None]
+    ) -> None:
+        """Route same-instant runs of ``kind`` events to ``handler``.
+
+        ``kind`` is the callback whose events should coalesce; a bound
+        method is keyed by its underlying function, so one registration
+        covers every instance.  ``handler(sim, batch)`` receives the
+        collected ``[(fn, args), ...]`` pairs in heap order and must
+        execute all of them, in order.  Implies :meth:`enable_batching`.
+        """
+        self.enable_batching()
+        self._batch_handlers[getattr(kind, "__func__", kind)] = handler
+
+    def schedule_block(
+        self,
+        time: float,
+        count: int,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> EventHandle:
+        """Schedule one heap entry standing for ``count`` logical events.
+
+        ``fn(*args)`` runs once; ``events_executed`` advances by ``count``.
+        The producer is asserting that the scalar path would have scheduled
+        ``count`` consecutive same-time same-priority events here, so
+        replacing them with one entry cannot reorder anything.  Requires
+        :meth:`enable_batching` (the scalar loop would miscount blocks).
+        """
+        if not self._batch_mode:
+            raise SchedulingError(
+                "schedule_block requires enable_batching() before run()"
+            )
+        if not (self._now <= time < _INF):
+            raise SchedulingError(
+                f"cannot schedule at t={time!r} (now={self._now:.9f})"
+            )
+        if count < 1:
+            raise SchedulingError(f"block count must be >= 1, got {count!r}")
+        entry = [time, priority, self._seq, _PENDING, fn, args, count]
+        self._seq += 1
+        _heappush(self._heap, entry)
+        return EventHandle(entry, self)
+
+    # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
     def run(self, until: float = math.inf, max_events: int | None = None) -> None:
@@ -216,15 +369,22 @@ class Simulator:
         Events scheduled exactly at ``until`` *are* executed (closed
         interval), matching the convention of ns-2/ns-3 ``Simulator::Stop``.
         """
+        if self._batch_mode:
+            self._run_batched(until, max_events)
+            return
         if self._running:
             raise SchedulingError("simulator is already running (re-entrant run())")
         self._running = True
         self._stopped = False
         budget = math.inf if max_events is None else max_events
         heap = self._heap
+        # Hoisted once per run(): heap primitives bound to locals, and the
+        # disabled-profiler event loop pays one local is-None check per
+        # event, nothing else.
         pop = heapq.heappop
-        # Hoisted once per run(): the disabled-profiler event loop pays one
-        # local is-None check per event, nothing else.
+        push = heapq.heappush
+        pool = self._pool
+        pool_max = _POOL_MAX
         profiler = self._profiler
         stride = profiler.sample_every if profiler is not None else 1
         tick = 0
@@ -236,16 +396,19 @@ class Simulator:
                     continue
                 if entry[_TIME] > until:
                     # Put it back for a later run() call; advance to bound.
-                    heapq.heappush(heap, entry)
+                    push(heap, entry)
                     if math.isfinite(until):
                         self._now = until
                     break
                 self._now = entry[_TIME]
+                recycle = entry[_STATE] == _PENDING_NOHANDLE
                 entry[_STATE] = _FIRED
                 fn = entry[_FN]
                 args = entry[_ARGS]
                 entry[_FN] = None  # release references
                 entry[_ARGS] = ()
+                if recycle and len(pool) < pool_max:
+                    pool.append(entry)
                 if profiler is None:
                     fn(*args)
                 else:
@@ -260,6 +423,126 @@ class Simulator:
                         fn(*args)
                 self._events_executed += 1
                 budget -= 1
+            else:
+                if not heap and math.isfinite(until) and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+
+    def _run_batched(self, until: float, max_events: int | None) -> None:
+        """Batched drain loop: scalar-identical ordering, fewer Python calls.
+
+        Differences from the scalar loop are strictly mechanical: block
+        entries fire once but count ``entry[_COUNT]`` events, and maximal
+        same-(time, priority, kind) runs of registered callbacks dispatch
+        through their vector handler.  Every covered entry is marked fired
+        before any user code runs, so lazily-deleted cancellations and
+        ``events_executed`` accounting behave exactly as in the scalar loop.
+        """
+        if self._running:
+            raise SchedulingError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        budget = math.inf if max_events is None else max_events
+        heap = self._heap
+        pop = heapq.heappop
+        push = heapq.heappush
+        pool = self._pool
+        pool_max = _POOL_MAX
+        handlers = self._batch_handlers
+        profiler = self._profiler
+        stride = profiler.sample_every if profiler is not None else 1
+        tick = 0
+        try:
+            while heap and not self._stopped and budget > 0:
+                entry = pop(heap)
+                if entry[_STATE] == _CANCELLED:
+                    self._dead -= 1
+                    continue
+                if entry[_TIME] > until:
+                    push(heap, entry)
+                    if math.isfinite(until):
+                        self._now = until
+                    break
+                self._now = entry[_TIME]
+                recycle = entry[_STATE] == _PENDING_NOHANDLE
+                entry[_STATE] = _FIRED
+                fn = entry[_FN]
+                args = entry[_ARGS]
+                entry[_FN] = None
+                entry[_ARGS] = ()
+                if len(entry) == 7:
+                    # Block entry: one call, _COUNT logical events.  Blocks
+                    # are atomic — max_events may overshoot by at most one
+                    # block, matching the "at least one event" contract.
+                    n = entry[_COUNT]
+                    if profiler is None:
+                        fn(*args)
+                    else:
+                        t1 = perf_counter()
+                        fn(*args)
+                        profiler.record_batch(fn, perf_counter() - t1, n)
+                    self._events_executed += n
+                    budget -= n
+                    continue
+                kind = getattr(fn, "__func__", fn)
+                handler = handlers.get(kind)
+                if handler is None:
+                    # Scalar fallback — byte-identical to the reference loop.
+                    if recycle and len(pool) < pool_max:
+                        pool.append(entry)
+                    if profiler is None:
+                        fn(*args)
+                    else:
+                        tick += 1
+                        if tick >= stride:
+                            tick = 0
+                            t1 = perf_counter()
+                            fn(*args)
+                            profiler.record(fn, perf_counter() - t1)
+                        else:
+                            profiler.count_only(fn)
+                            fn(*args)
+                    self._events_executed += 1
+                    budget -= 1
+                    continue
+                # Collect the maximal run of consecutive pending entries
+                # sharing (time, priority, kind).  Formed entirely before
+                # the handler runs: heap order — hence execution order — is
+                # exactly what the scalar loop would have produced.
+                t = entry[_TIME]
+                pri = entry[_PRIORITY]
+                batch = [(fn, args)]
+                if recycle and len(pool) < pool_max:
+                    pool.append(entry)
+                while heap and len(batch) < budget:
+                    head = heap[0]
+                    if head[_TIME] != t or head[_PRIORITY] != pri:
+                        break
+                    if head[_STATE] == _CANCELLED:
+                        pop(heap)
+                        self._dead -= 1
+                        continue
+                    hfn = head[_FN]
+                    if len(head) == 7 or getattr(hfn, "__func__", hfn) is not kind:
+                        break
+                    pop(heap)
+                    recycle_h = head[_STATE] == _PENDING_NOHANDLE
+                    head[_STATE] = _FIRED
+                    batch.append((hfn, head[_ARGS]))
+                    head[_FN] = None
+                    head[_ARGS] = ()
+                    if recycle_h and len(pool) < pool_max:
+                        pool.append(head)
+                n = len(batch)
+                if profiler is None:
+                    handler(self, batch)
+                else:
+                    t1 = perf_counter()
+                    handler(self, batch)
+                    profiler.record_batch(kind, perf_counter() - t1, n)
+                self._events_executed += n
+                budget -= n
             else:
                 if not heap and math.isfinite(until) and until > self._now:
                     self._now = until
@@ -293,7 +576,7 @@ class Simulator:
     def _compact(self) -> None:
         # In-place so a run() loop holding a reference to the heap list
         # keeps seeing the compacted queue.
-        self._heap[:] = [e for e in self._heap if e[_STATE] == _PENDING]
+        self._heap[:] = [e for e in self._heap if e[_STATE] < _FIRED]
         heapq.heapify(self._heap)
         self._dead = 0
 
@@ -307,7 +590,7 @@ class Simulator:
         tuples (mainly for tests)."""
         while self._heap:
             entry = heapq.heappop(self._heap)
-            if entry[_STATE] == _PENDING:
+            if entry[_STATE] < _FIRED:
                 yield (entry[_TIME], entry[_FN], entry[_ARGS])
             else:
                 self._dead -= 1

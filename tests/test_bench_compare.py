@@ -1,0 +1,139 @@
+"""Tests for benchmarks/compare.py (explicit baseline-record diffing)."""
+
+import json
+
+import pytest
+
+from benchmarks import compare as cmp
+
+
+def _record(*, rev="a", cpu="cpu-x", quick=False, kernels=None, derived=None):
+    return {
+        "schema": 1,
+        "rev": rev,
+        "quick": quick,
+        "generated_utc": "2026-08-08T00:00:00+00:00",
+        "cpu": cpu,
+        "kernels": kernels if kernels is not None else {},
+        "derived": derived if derived is not None else {},
+    }
+
+
+def _kernel(wall, **extra):
+    return {"wall_s": wall, **extra}
+
+
+class TestCompare:
+    def test_no_gates_never_fails(self, capsys):
+        old = _record(kernels={"k": _kernel(1.0, events_per_s=100.0)})
+        new = _record(rev="b", kernels={"k": _kernel(3.0, events_per_s=33.0)})
+        assert cmp.compare(old, new, None, {}) == []
+        out = capsys.readouterr().out
+        assert "3.00x" in out
+
+    def test_wall_gate_trips_on_same_cpu(self):
+        old = _record(kernels={"k": _kernel(1.0)})
+        new = _record(rev="b", kernels={"k": _kernel(1.5)})
+        failures = cmp.compare(old, new, 1.25, {})
+        assert len(failures) == 1
+        assert "k: wall ratio 1.50x" in failures[0]
+
+    def test_wall_gate_passes_within_tolerance(self):
+        old = _record(kernels={"k": _kernel(1.0)})
+        new = _record(rev="b", kernels={"k": _kernel(1.2)})
+        assert cmp.compare(old, new, 1.25, {}) == []
+
+    def test_wall_gate_skipped_across_cpus(self, capsys):
+        old = _record(cpu="cpu-x", kernels={"k": _kernel(1.0)})
+        new = _record(rev="b", cpu="cpu-y", kernels={"k": _kernel(9.0)})
+        assert cmp.compare(old, new, 1.25, {}) == []
+        assert "wall-ratio gate skipped" in capsys.readouterr().out
+
+    def test_wall_gate_skipped_across_quick_modes(self, capsys):
+        old = _record(quick=True, kernels={"k": _kernel(0.1)})
+        new = _record(rev="b", quick=False, kernels={"k": _kernel(2.0)})
+        assert cmp.compare(old, new, 1.25, {}) == []
+        assert "different --quick modes" in capsys.readouterr().out
+
+    def test_unshared_kernels_reported_not_gated(self, capsys):
+        old = _record(kernels={"gone": _kernel(1.0)})
+        new = _record(rev="b", kernels={"added": _kernel(9.0)})
+        assert cmp.compare(old, new, 1.25, {}) == []
+        out = capsys.readouterr().out
+        assert "gone" in out and "new" in out
+
+    def test_min_derived_floor_trips(self):
+        old = _record(derived={"sinr_slot_speedup": 5.5})
+        new = _record(rev="b", derived={"sinr_slot_speedup": 2.1})
+        failures = cmp.compare(old, new, None, {"sinr_slot_speedup": 3.0})
+        assert len(failures) == 1
+        assert "2.10x below floor 3.00x" in failures[0]
+
+    def test_min_derived_floor_passes(self):
+        new = _record(rev="b", derived={"sinr_slot_speedup": 5.5})
+        assert cmp.compare(_record(), new, None,
+                           {"sinr_slot_speedup": 3.0}) == []
+
+    def test_min_derived_missing_key_fails(self):
+        failures = cmp.compare(_record(), _record(rev="b"), None,
+                               {"nope": 1.0})
+        assert failures and "missing" in failures[0]
+
+    def test_min_derived_enforced_across_cpus(self):
+        # Dimensionless ratios stay gated even when wall gates are off.
+        old = _record(cpu="cpu-x")
+        new = _record(rev="b", cpu="cpu-y", derived={"r": 0.5})
+        assert cmp.compare(old, new, 1.25, {"r": 2.0})
+
+
+class TestParseMinDerived:
+    def test_parses_pairs(self):
+        got = cmp._parse_min_derived(["a:1.5", "b:3"])
+        assert got == {"a": 1.5, "b": 3.0}
+
+    def test_rejects_missing_separator(self):
+        with pytest.raises(SystemExit):
+            cmp._parse_min_derived(["nope"])
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(SystemExit):
+            cmp._parse_min_derived(["a:fast"])
+
+
+class TestMain:
+    def _write(self, path, record):
+        path.write_text(json.dumps(record))
+        return str(path)
+
+    def test_exit_zero_on_clean_diff(self, tmp_path):
+        old = self._write(tmp_path / "old.json",
+                          _record(kernels={"k": _kernel(1.0)}))
+        new = self._write(tmp_path / "new.json",
+                          _record(rev="b", kernels={"k": _kernel(1.1)}))
+        assert cmp.main([old, new, "--fail-above", "1.25"]) == 0
+
+    def test_exit_one_on_regression(self, tmp_path):
+        old = self._write(tmp_path / "old.json",
+                          _record(kernels={"k": _kernel(1.0)}))
+        new = self._write(tmp_path / "new.json",
+                          _record(rev="b", kernels={"k": _kernel(2.0)}))
+        assert cmp.main([old, new, "--fail-above", "1.25"]) == 1
+
+    def test_exit_one_on_derived_floor(self, tmp_path):
+        old = self._write(tmp_path / "old.json", _record())
+        new = self._write(tmp_path / "new.json",
+                          _record(rev="b", derived={"s": 1.0}))
+        assert cmp.main([old, new, "--min-derived", "s:3.0"]) == 1
+        assert cmp.main([old, new, "--min-derived", "s:0.5"]) == 0
+
+    def test_rejects_non_record(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        good = self._write(tmp_path / "good.json", _record())
+        with pytest.raises(SystemExit):
+            cmp.main([str(bad), good])
+
+    def test_rejects_unreadable(self, tmp_path):
+        good = self._write(tmp_path / "good.json", _record())
+        with pytest.raises(SystemExit):
+            cmp.main([str(tmp_path / "absent.json"), good])
