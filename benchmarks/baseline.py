@@ -183,12 +183,14 @@ def _kernel_fig6(quick: bool, spatial: bool) -> dict:
     # Fig-6-style static scalability point at N = 100 (the acceptance
     # floor).  Static plans are fully cached in both channel paths, so
     # this pair is the determinism cross-check and the whole-simulator
-    # events/s tracker, not a spatial-index showcase.
+    # events/s tracker, not a spatial-index showcase.  batched_kernel=True
+    # matches what the figure sweeps now run; the fig6_e2e pair below
+    # keeps the scalar engine as the cross-checked oracle.
     return _run_fig6(ScenarioConfig(
         protocol="nlr", grid_nx=10, grid_ny=10, spacing_m=200.0,
         n_flows=6, flow_rate_pps=2.0, flow_stagger_s=0.2,
         sim_time_s=4.0 if quick else 8.0, warmup_s=1.0, seed=42,
-        spatial_index=spatial,
+        spatial_index=spatial, batched_kernel=True,
     ))
 
 
@@ -216,6 +218,7 @@ def _kernel_fig6_scale(quick: bool, spatial: bool) -> dict:
         sim_time_s=3.0 if quick else 4.0, warmup_s=1.0, seed=42,
         mobility="rwp", mobile_fraction=0.005, speed_range=(2.0, 8.0),
         pause_s=0.5, mobility_update_s=0.1, spatial_index=spatial,
+        batched_kernel=True,
     ))
 
 

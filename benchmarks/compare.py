@@ -21,10 +21,16 @@ Gates::
                              is below VAL (repeatable); dimensionless, so
                              it is enforced regardless of CPU
 
+``old`` may also be a *directory* (e.g. the repo root): the newest
+committed ``BENCH_*.json`` in it with the same ``--quick`` mode as the
+candidate is picked automatically — which is how CI diffs a fresh rerun
+against whatever baseline the tree ships without hard-coding a revision.
+
 Usage::
 
     python benchmarks/compare.py BENCH_old.json BENCH_new.json \
         [--fail-above 1.25] [--min-derived sinr_slot_speedup:3.0]
+    python benchmarks/compare.py . /tmp/BENCH_ci-quick.json --fail-above 1.6
 """
 
 from __future__ import annotations
@@ -43,6 +49,35 @@ def load_record(path: Path) -> dict:
     if "kernels" not in data:
         raise SystemExit(f"{path}: not a baseline record (no 'kernels' key)")
     return data
+
+
+def newest_baseline(directory: Path, new: dict, new_path: Path) -> Path:
+    """Newest comparable ``BENCH_*.json`` in ``directory`` (auto-old mode).
+
+    Comparable means: parseable, a baseline record (has ``kernels``),
+    same ``quick`` mode as the candidate, and not the candidate file
+    itself.  Newest is by the embedded ``generated_utc`` stamp, not file
+    mtime, so fresh checkouts behave.
+    """
+    candidates: list[tuple[str, Path]] = []
+    for path in directory.glob("BENCH_*.json"):
+        if path.resolve() == new_path.resolve():
+            continue
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        if "kernels" not in data:
+            continue  # e.g. campaign-fabric records — different shape
+        if bool(data.get("quick")) != bool(new.get("quick")):
+            continue
+        candidates.append((data.get("generated_utc", ""), path))
+    if not candidates:
+        raise SystemExit(
+            f"no comparable BENCH_*.json found in {directory} "
+            f"(quick={bool(new.get('quick'))})"
+        )
+    return max(candidates)[1]
 
 
 def _throughput(entry: dict) -> tuple[str, float] | None:
@@ -134,7 +169,9 @@ def _parse_min_derived(specs: list[str]) -> dict[str, float]:
 
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    ap.add_argument("old", type=Path, help="baseline BENCH_*.json")
+    ap.add_argument("old", type=Path,
+                    help="baseline BENCH_*.json, or a directory to "
+                         "auto-pick the newest comparable record from")
     ap.add_argument("new", type=Path, help="candidate BENCH_*.json")
     ap.add_argument("--fail-above", type=float, default=None, metavar="R",
                     help="exit 1 if any shared kernel's wall ratio "
@@ -145,8 +182,12 @@ def main(argv: list[str] | None = None) -> int:
                          "is below VAL (repeatable)")
     args = ap.parse_args(argv)
 
-    old = load_record(args.old)
     new = load_record(args.new)
+    old_path = args.old
+    if old_path.is_dir():
+        old_path = newest_baseline(old_path, new, args.new)
+        print(f"auto-picked baseline: {old_path}")
+    old = load_record(old_path)
     failures = compare(old, new, args.fail_above,
                        _parse_min_derived(args.min_derived))
     if failures:

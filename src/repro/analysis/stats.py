@@ -1,4 +1,17 @@
-"""Replication statistics: means and Student-t confidence intervals."""
+"""Replication statistics: means and Student-t confidence intervals.
+
+Beyond the report-facing :func:`mean_ci`/:func:`summarize`, this module
+holds the *sequential* helpers the adaptive campaign scheduler
+(:mod:`repro.exec.adaptive`) stops on: :func:`t_critical` (the shared
+Student-t quantile), :func:`sequential_halfwidth` (the conservative
+stop-test statistic), and :func:`reps_to_target` (a wave-size planner).
+
+The two families deliberately disagree on ``n = 1``: a report CI prints a
+half-width of 0 for a single observation (there is nothing to spread),
+while a *stopping rule* must never conclude from one sample — so
+``sequential_halfwidth`` returns ``inf`` until two finite values exist.
+Zero-variance samples yield a half-width of exactly ``0.0`` in both.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +22,14 @@ from typing import Sequence
 import numpy as np
 from scipy import stats as sps
 
-__all__ = ["ConfidenceInterval", "mean_ci", "summarize"]
+__all__ = [
+    "ConfidenceInterval",
+    "mean_ci",
+    "reps_to_target",
+    "sequential_halfwidth",
+    "summarize",
+    "t_critical",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,6 +67,68 @@ class ConfidenceInterval:
         return f"{self.mean:.4g} ± {self.half_width:.2g}"
 
 
+def t_critical(n: int, level: float = 0.95) -> float:
+    """Two-sided Student-t critical value for a sample of size ``n``.
+
+    ``n`` is the sample size (degrees of freedom ``n - 1``); values below 2
+    have no defined quantile and raise.
+    """
+    if n < 2:
+        raise ValueError(f"t_critical needs n ≥ 2, got {n}")
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"level must be in (0, 1), got {level}")
+    return float(sps.t.ppf(0.5 + level / 2.0, df=n - 1))
+
+
+def _finite(values: Sequence[float]) -> np.ndarray:
+    x = np.asarray(list(values), dtype=float)
+    return x[~np.isnan(x)]
+
+
+def sequential_halfwidth(values: Sequence[float], level: float = 0.95) -> float:
+    """Student-t CI half-width as a *sequential stopping* statistic.
+
+    Degenerate inputs are pinned to the conservative side, because this
+    number decides whether a campaign stops buying replicates:
+
+    * fewer than two finite values → ``inf`` (one sample proves nothing;
+      NaNs — e.g. delay with zero deliveries — are dropped first);
+    * zero sample variance → exactly ``0.0`` (identical replicates, the
+      interval is degenerate and any positive target is met).
+    """
+    x = _finite(values)
+    n = len(x)
+    if n < 2:
+        return math.inf
+    sd = float(np.std(x, ddof=1))
+    if sd == 0.0:
+        return 0.0
+    return t_critical(n, level) * sd / math.sqrt(n)
+
+
+def reps_to_target(
+    values: Sequence[float], target: float, level: float = 0.95,
+) -> int:
+    """Estimated *total* replicates needed to reach ``target`` half-width.
+
+    Plans the next wave from the current sample's variance:
+    ``n* = (t · s / target)²`` with the t value of the current sample
+    (conservative for the larger n it predicts).  Returns at least the
+    current sample size; with fewer than two finite values (no variance
+    estimate yet) or a non-positive target it returns ``n + 1`` — "buy at
+    least one more and re-ask".
+    """
+    x = _finite(values)
+    n = len(x)
+    if n < 2 or target <= 0.0:
+        return n + 1
+    sd = float(np.std(x, ddof=1))
+    if sd == 0.0:
+        return n
+    need = math.ceil((t_critical(n, level) * sd / target) ** 2)
+    return max(n, int(need))
+
+
 def mean_ci(values: Sequence[float], level: float = 0.95) -> ConfidenceInterval:
     """Mean and Student-t confidence interval of ``values``.
 
@@ -56,8 +138,7 @@ def mean_ci(values: Sequence[float], level: float = 0.95) -> ConfidenceInterval:
     >>> round(ci.mean, 3)
     2.0
     """
-    x = np.asarray(list(values), dtype=float)
-    x = x[~np.isnan(x)]
+    x = _finite(values)
     n = len(x)
     if n == 0:
         return ConfidenceInterval(math.nan, math.nan, 0, level)
@@ -65,8 +146,7 @@ def mean_ci(values: Sequence[float], level: float = 0.95) -> ConfidenceInterval:
     if n == 1:
         return ConfidenceInterval(m, 0.0, 1, level)
     sem = float(np.std(x, ddof=1)) / math.sqrt(n)
-    t = float(sps.t.ppf(0.5 + level / 2.0, df=n - 1))
-    return ConfidenceInterval(m, t * sem, n, level)
+    return ConfidenceInterval(m, t_critical(n, level) * sem, n, level)
 
 
 def summarize(

@@ -30,7 +30,8 @@ from repro.dse.objectives import DEFAULT_OBJECTIVES, parse_objective
 from repro.dse.report import ascii_scatter, load_state, pareto_table, to_csv
 from repro.dse.screen import ScreenSettings, run_screening
 from repro.dse.space import ParameterSpace
-from repro.exec.policy import ExecPolicy
+from repro.exec.adaptive import parse_adaptive_spec
+from repro.exec.policy import BACKEND_CHOICES, ExecPolicy
 from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.serialization import load_config
 
@@ -65,6 +66,19 @@ def _add_exec_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--task-timeout", type=float, default=None, metavar="S",
         help="per-cell wall-clock budget in seconds",
+    )
+    p.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default="auto",
+        help="execution backend (auto = serial at --workers 1, else pool)",
+    )
+    p.add_argument(
+        "--adaptive", default=None, metavar="METRIC:HW[:MIN_REPS]",
+        help="with --n-seeds ≥ 2: stop replicating a point once METRIC's "
+             "CI half-width is ≤ HW; --n-seeds becomes the budget",
+    )
+    p.add_argument(
+        "--no-adaptive", action="store_true",
+        help="force the fixed seed budget (the default; wins over --adaptive)",
     )
 
 
@@ -114,9 +128,14 @@ def _objectives(args):
 
 
 def _policy(args) -> ExecPolicy:
+    adaptive = None
+    if getattr(args, "adaptive", None) and not getattr(args, "no_adaptive", False):
+        adaptive = parse_adaptive_spec(args.adaptive)
     return ExecPolicy(
         workers=args.workers,
         task_timeout_s=args.task_timeout,
+        backend=getattr(args, "backend", "auto"),
+        adaptive=adaptive,
         progress=args.workers > 1,
     )
 

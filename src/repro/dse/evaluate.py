@@ -143,22 +143,12 @@ class Evaluator:
             fresh.append((k, p))
 
         if fresh:
-            tasks: list[Task] = []
-            owners: list[str] = []
-            for k, p in fresh:
-                for cfg in self.configs_for(p):
-                    tasks.append(
-                        Task(cfg, tag=f"{label} {self._short(p)} s{cfg.seed}")
-                    )
-                    owners.append(k)
-            campaign = Campaign(f"{self.campaign_prefix}-{label}", tasks)
-            outcomes = CampaignExecutor(policy=self.policy).run(campaign)
-            results = outcomes.results()  # raises on any failed cell
-            self.simulations_run += sum(
-                1 for o in outcomes.outcomes if o.source == "run"
-            )
+            if self.policy.adaptive is not None and self.n_seeds >= 2:
+                grouped = self._run_adaptive(fresh, label)
+            else:
+                grouped = self._run_fixed(fresh, label)
             for (k, p) in fresh:
-                mine = [r for r, owner in zip(results, owners) if owner == k]
+                mine = grouped[k]
                 values = aggregate_objectives(mine, self.objectives)
                 per_seed = [
                     {o.key: float(vals[o.key]) for o in self.objectives}
@@ -174,6 +164,64 @@ class Evaluator:
                     generation=generation,
                 )
         return [self._cache[point_key(p)] for p in points]
+
+    # ------------------------------------------------------------------ #
+    def _run_fixed(
+        self, fresh: Sequence[tuple[str, Point]], label: str
+    ) -> dict[str, list]:
+        """Fixed seed budget: every point buys exactly ``n_seeds`` cells."""
+        tasks: list[Task] = []
+        owners: list[str] = []
+        for k, p in fresh:
+            for cfg in self.configs_for(p):
+                tasks.append(
+                    Task(cfg, tag=f"{label} {self._short(p)} s{cfg.seed}")
+                )
+                owners.append(k)
+        campaign = Campaign(f"{self.campaign_prefix}-{label}", tasks)
+        outcomes = CampaignExecutor(policy=self.policy).run(campaign)
+        results = outcomes.results()  # raises on any failed cell
+        self.simulations_run += sum(
+            1 for o in outcomes.outcomes if o.source == "run"
+        )
+        grouped: dict[str, list] = {k: [] for k, _ in fresh}
+        for owner, result in zip(owners, results):
+            grouped[owner].append(result)
+        return grouped
+
+    def _run_adaptive(
+        self, fresh: Sequence[tuple[str, Point]], label: str
+    ) -> dict[str, list]:
+        """Sequential-CI stopping: ``n_seeds`` becomes a per-point budget.
+
+        Each wave is one campaign across every unconverged point, so the
+        search still parallelises across the generation; per-point results
+        remain a seed-ladder prefix of the fixed-budget ladder, keeping
+        kill-and-resume byte-identity (the same cells are simply re-bought
+        from checkpoints in the same order).
+        """
+        from repro.exec.adaptive import run_adaptive_cells
+        from repro.experiments.cache import cache_dir
+
+        def run_fn(name, configs, policy=None, tags=None):
+            campaign = Campaign.from_configs(name, configs, tags=tags)
+            outcome = CampaignExecutor(policy=self.policy).run(campaign)
+            self.simulations_run += sum(
+                1 for o in outcome.outcomes if o.source == "run"
+            )
+            return outcome.results()
+
+        log_dir = self.policy.log_dir or cache_dir() / "runs"
+        report = run_adaptive_cells(
+            f"{self.campaign_prefix}-{label}",
+            [(k, self.space.bind(self.base, p)) for k, p in fresh],
+            n_budget=self.n_seeds,
+            adaptive=self.policy.adaptive,
+            policy=self.policy,
+            audit_path=log_dir / f"adaptive-{self.campaign_prefix}.jsonl",
+            run_fn=run_fn,
+        )
+        return report.results
 
     @staticmethod
     def _short(point: Point) -> str:

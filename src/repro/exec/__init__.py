@@ -22,11 +22,22 @@ Because each cell is simulated from its own seed in a fresh engine, the
 aggregate of a parallel campaign is byte-identical to the serial one —
 results are reassembled in task order, never completion order.
 
+Execution is pluggable (:mod:`repro.exec.backends`): beyond the fresh
+process pool there is a persistent *warm* work-stealing pool (amortises
+spawn + import across campaigns — the dominant cost for short cells) and
+a coordinator-free *filestore* backend where N independent launcher
+processes cooperate over the content-addressed cell directory via atomic
+claim files (kill-safe: stale claims from dead launchers are swept).  On
+top, :mod:`repro.exec.adaptive` adds sequential-statistics early stopping:
+campaigns declare a metric + CI half-width and stop buying seeds for
+cells that already converged, with every stop decision audit-logged.
+
 Quickstart::
 
     from repro.exec import ExecPolicy, run_configs
 
     results = run_configs("my-sweep", configs, ExecPolicy(workers=4))
+    results = run_configs("warm", configs, ExecPolicy(workers=4, backend="warm"))
 
 or process-wide (the experiments CLI does this for ``--workers``)::
 
@@ -35,6 +46,25 @@ or process-wide (the experiments CLI does this for ``--workers``)::
     configure(workers=4, resume=True)
 """
 
+from repro.exec.adaptive import (
+    AdaptiveDecision,
+    AdaptivePolicy,
+    AdaptiveReport,
+    parse_adaptive_spec,
+    run_adaptive_cells,
+)
+from repro.exec.backends import (
+    BACKENDS,
+    Backend,
+    ClaimStore,
+    FileStoreBackend,
+    PoolBackend,
+    SerialBackend,
+    WarmPoolBackend,
+    make_backend,
+    shared_warm_pool,
+    shutdown_shared_pools,
+)
 from repro.exec.checkpoint import CHECKPOINT_SCHEMA, CheckpointStore
 from repro.exec.policy import ExecPolicy, configure, current_policy, using
 from repro.exec.progress import ProgressReporter
@@ -42,22 +72,39 @@ from repro.exec.scheduler import (
     CampaignExecutor,
     CampaignResult,
     TaskOutcome,
+    quarantine_dir,
     run_configs,
 )
 from repro.exec.task import Campaign, Task
 
 __all__ = [
+    "BACKENDS",
     "CHECKPOINT_SCHEMA",
+    "AdaptiveDecision",
+    "AdaptivePolicy",
+    "AdaptiveReport",
+    "Backend",
     "Campaign",
     "CampaignExecutor",
     "CampaignResult",
     "CheckpointStore",
+    "ClaimStore",
     "ExecPolicy",
+    "FileStoreBackend",
+    "PoolBackend",
     "ProgressReporter",
+    "SerialBackend",
     "Task",
     "TaskOutcome",
+    "WarmPoolBackend",
     "configure",
     "current_policy",
+    "make_backend",
+    "parse_adaptive_spec",
+    "quarantine_dir",
+    "run_adaptive_cells",
     "run_configs",
+    "shared_warm_pool",
+    "shutdown_shared_pools",
     "using",
 ]

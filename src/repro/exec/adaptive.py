@@ -1,0 +1,334 @@
+"""Sequential-statistics early stopping for replicated campaigns.
+
+Fixed seed budgets waste most of their replicates: at sweep scale the
+easy cells (light load, small grids) converge after a handful of seeds
+while the budget keeps buying more.  The classic Monte-Carlo remedy —
+sequential confidence-interval stopping, as used throughout the
+probabilistic-protocol evaluation literature — is safe here because every
+replicate is a content-hashed, deterministic exec cell: stopping early
+never changes *which* runs happen, only *how many*.
+
+:class:`AdaptivePolicy` declares the contract — a target metric and the
+confidence-interval half-width the campaign must reach — and
+:func:`run_adaptive_cells` schedules replicates in waves:
+
+1. every cell runs ``min_reps`` seeds (one campaign over all cells, so a
+   worker pool parallelises across the whole grid);
+2. each cell's Student-t half-width on the target metric is tested
+   against the declared precision; converged cells *stop*;
+3. surviving cells buy ``wave`` more seeds each (again one campaign),
+   until they converge or hit ``max_reps`` — the fixed budget is the
+   worst case, never exceeded.
+
+Seeds are always the ``base, base+1, …`` ladder, so an adaptive cell's
+replicates are a strict prefix of the full-budget cell's — which is what
+makes the accuracy claim auditable: the adaptive mean must lie within the
+declared half-width of the full-budget mean.
+
+Every stop decision is recorded as an :class:`AdaptiveDecision` (and
+appended to a JSONL audit log when a path is given): cell key, seeds
+bought, mean, half-width, target, and why sampling ended.  ``--no-adaptive``
+paths never enter this module, so they stay byte-identical to the
+fixed-budget behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.analysis.stats import sequential_halfwidth
+from repro.experiments.runner import ScenarioResult
+from repro.experiments.scenario import ScenarioConfig
+
+__all__ = [
+    "AdaptiveDecision",
+    "AdaptivePolicy",
+    "AdaptiveReport",
+    "parse_adaptive_spec",
+    "run_adaptive_cells",
+]
+
+
+@dataclass(slots=True, frozen=True)
+class AdaptivePolicy:
+    """Declared precision contract for adaptive replication.
+
+    Attributes
+    ----------
+    metric:
+        Key of :meth:`ScenarioResult.as_dict` the half-width is tested on
+        (e.g. ``"pdr"``).
+    ci_halfwidth:
+        Absolute half-width target.  A cell stops once its Student-t CI
+        half-width on ``metric`` is ≤ this value.
+    rel_halfwidth:
+        Optional *relative* target: half-width ≤ ``rel_halfwidth·|mean|``.
+        When both are set, either satisfies the stop test.
+    level:
+        Confidence level of the interval (default 0.95).
+    min_reps:
+        Seeds every cell buys before the first stop test.  Student-t needs
+        ≥ 2; below 3 the t quantile is so wide that stopping is rare.
+    max_reps:
+        Hard budget per cell; ``None`` means "use the campaign's full
+        budget" (resolved per call site).
+    wave:
+        Seeds added per surviving cell between stop tests.
+    """
+
+    metric: str = "pdr"
+    ci_halfwidth: float | None = 0.01
+    rel_halfwidth: float | None = None
+    level: float = 0.95
+    min_reps: int = 5
+    max_reps: int | None = None
+    wave: int = 2
+
+    def __post_init__(self) -> None:
+        if self.ci_halfwidth is None and self.rel_halfwidth is None:
+            raise ValueError("need ci_halfwidth and/or rel_halfwidth")
+        for name in ("ci_halfwidth", "rel_halfwidth"):
+            v = getattr(self, name)
+            if v is not None and v <= 0:
+                raise ValueError(f"{name} must be positive, got {v}")
+        if not 0.0 < self.level < 1.0:
+            raise ValueError(f"level must be in (0, 1), got {self.level}")
+        if self.min_reps < 2:
+            raise ValueError(f"min_reps must be ≥ 2, got {self.min_reps}")
+        if self.max_reps is not None and self.max_reps < self.min_reps:
+            raise ValueError("max_reps must be ≥ min_reps")
+        if self.wave < 1:
+            raise ValueError(f"wave must be ≥ 1, got {self.wave}")
+
+    # ------------------------------------------------------------------ #
+    def resolve(self, budget: int) -> "AdaptivePolicy":
+        """Pin ``max_reps`` to the call site's full budget (never above)."""
+        cap = budget if self.max_reps is None else min(self.max_reps, budget)
+        return replace(
+            self, max_reps=max(cap, 2), min_reps=min(self.min_reps, max(cap, 2))
+        )
+
+    def converged(self, mean: float, halfwidth: float) -> bool:
+        """The declared stop test."""
+        if math.isinf(halfwidth) or math.isnan(halfwidth):
+            return False
+        if self.ci_halfwidth is not None and halfwidth <= self.ci_halfwidth:
+            return True
+        return (
+            self.rel_halfwidth is not None
+            and not math.isnan(mean)
+            and halfwidth <= self.rel_halfwidth * abs(mean)
+        )
+
+    def describe(self) -> str:
+        parts = [f"metric={self.metric}"]
+        if self.ci_halfwidth is not None:
+            parts.append(f"hw≤{self.ci_halfwidth:g}")
+        if self.rel_halfwidth is not None:
+            parts.append(f"hw≤{self.rel_halfwidth:g}·|mean|")
+        parts.append(f"reps {self.min_reps}..{self.max_reps}")
+        return " ".join(parts)
+
+
+@dataclass(slots=True)
+class AdaptiveDecision:
+    """Audit record: why one cell stopped buying seeds."""
+
+    key: str
+    metric: str
+    n_used: int
+    n_budget: int
+    mean: float
+    halfwidth: float
+    target_halfwidth: float | None
+    stopped_early: bool
+    reason: str  # "converged" | "budget" | "degenerate"
+    waves: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "metric": self.metric,
+            "n_used": self.n_used,
+            "n_budget": self.n_budget,
+            "mean": self.mean,
+            "halfwidth": self.halfwidth,
+            "target_halfwidth": self.target_halfwidth,
+            "stopped_early": self.stopped_early,
+            "reason": self.reason,
+            "waves": self.waves,
+        }
+
+
+@dataclass(slots=True)
+class AdaptiveReport:
+    """Outcome of one adaptive campaign: results + the audit trail."""
+
+    results: dict[str, list[ScenarioResult]]
+    decisions: list[AdaptiveDecision] = field(default_factory=list)
+    waves: int = 0
+
+    @property
+    def replicates_used(self) -> int:
+        return sum(len(v) for v in self.results.values())
+
+    @property
+    def replicates_budget(self) -> int:
+        return sum(d.n_budget for d in self.decisions)
+
+    @property
+    def saved_fraction(self) -> float:
+        """Fraction of the fixed seed budget the stopping rule returned."""
+        budget = self.replicates_budget
+        if budget <= 0:
+            return 0.0
+        return 1.0 - self.replicates_used / budget
+
+
+def parse_adaptive_spec(spec: str) -> AdaptivePolicy:
+    """CLI syntax ``METRIC:HALFWIDTH[:MIN_REPS]`` → :class:`AdaptivePolicy`.
+
+    >>> parse_adaptive_spec("pdr:0.01").metric
+    'pdr'
+    >>> parse_adaptive_spec("mean_delay_s:0.002:3").min_reps
+    3
+    """
+    parts = spec.split(":")
+    if len(parts) not in (2, 3) or not parts[0]:
+        raise ValueError(
+            f"bad adaptive spec {spec!r}; expected METRIC:HALFWIDTH[:MIN_REPS]"
+        )
+    kwargs: dict[str, Any] = {
+        "metric": parts[0],
+        "ci_halfwidth": float(parts[1]),
+    }
+    if len(parts) == 3:
+        kwargs["min_reps"] = int(parts[2])
+    return AdaptivePolicy(**kwargs)
+
+
+# --------------------------------------------------------------------- #
+# Wave scheduler
+# --------------------------------------------------------------------- #
+def _metric_values(runs: Sequence[ScenarioResult], metric: str) -> list[float]:
+    return [float(r.as_dict()[metric]) for r in runs]
+
+
+def run_adaptive_cells(
+    name: str,
+    cells: Sequence[tuple[str, ScenarioConfig]],
+    n_budget: int,
+    adaptive: AdaptivePolicy,
+    policy: Any = None,
+    audit_path: str | Path | None = None,
+    run_fn: Callable[..., list[ScenarioResult]] | None = None,
+) -> AdaptiveReport:
+    """Replicate every ``(key, config)`` cell under the stopping rule.
+
+    ``n_budget`` is the fixed budget the non-adaptive path would spend per
+    cell; adaptive never exceeds it.  Each wave is ONE executor campaign
+    over every surviving cell, so worker pools parallelise across the
+    grid exactly like the fixed-budget path.  Cell keys must be unique.
+
+    Returns the per-cell result lists (seed-ladder order, a prefix of the
+    fixed-budget ladder) plus the audit trail.
+    """
+    if n_budget < 2:
+        raise ValueError(
+            f"adaptive stopping needs a budget ≥ 2 replicates, got {n_budget}"
+        )
+    if run_fn is None:
+        from repro.exec.scheduler import run_configs as run_fn
+    keys = [k for k, _ in cells]
+    if len(set(keys)) != len(keys):
+        raise ValueError(f"adaptive cells need unique keys, got {keys!r}")
+    pol = adaptive.resolve(n_budget)
+    results: dict[str, list[ScenarioResult]] = {k: [] for k in keys}
+    active: dict[str, ScenarioConfig] = dict(cells)
+    decisions: list[AdaptiveDecision] = []
+    wave_no = 0
+
+    def n_next(k: str) -> int:
+        have = len(results[k])
+        if have == 0:
+            return min(pol.min_reps, pol.max_reps)
+        return min(have + pol.wave, pol.max_reps)
+
+    while active:
+        wave_no += 1
+        wave_keys: list[str] = []
+        wave_configs: list[ScenarioConfig] = []
+        wave_tags: list[str] = []
+        for k, base in active.items():
+            for rep in range(len(results[k]), n_next(k)):
+                wave_keys.append(k)
+                wave_configs.append(replace(base, seed=base.seed + rep))
+                wave_tags.append(f"{k} w{wave_no}")
+        wave_results = run_fn(
+            f"{name}-wave{wave_no}", wave_configs, policy=policy,
+            tags=wave_tags,
+        )
+        for k, result in zip(wave_keys, wave_results):
+            results[k].append(result)
+
+        for k in list(active):
+            runs = results[k]
+            values = _metric_values(runs, pol.metric)
+            hw = sequential_halfwidth(values, pol.level)
+            finite = [v for v in values if not math.isnan(v)]
+            mean = sum(finite) / len(finite) if finite else math.nan
+            if pol.converged(mean, hw):
+                reason = "degenerate" if hw == 0.0 else "converged"
+                stopped = len(runs) < n_budget
+            elif len(runs) >= pol.max_reps:
+                reason, stopped = "budget", len(runs) < n_budget
+            else:
+                continue  # buys another wave
+            del active[k]
+            decisions.append(
+                AdaptiveDecision(
+                    key=k, metric=pol.metric, n_used=len(runs),
+                    n_budget=n_budget, mean=mean, halfwidth=hw,
+                    target_halfwidth=pol.ci_halfwidth,
+                    stopped_early=stopped, reason=reason, waves=wave_no,
+                )
+            )
+
+    report = AdaptiveReport(results=results, decisions=decisions, waves=wave_no)
+    if audit_path is not None:
+        _append_audit(Path(audit_path), name, pol, report)
+    return report
+
+
+def _append_audit(
+    path: Path, name: str, pol: AdaptivePolicy, report: AdaptiveReport
+) -> None:
+    """One JSONL record per stop decision plus a campaign summary line."""
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a") as fh:
+            base = {
+                "t": round(time.time(), 3),
+                "campaign": name,
+                "pid": os.getpid(),
+            }
+            for d in report.decisions:
+                fh.write(json.dumps(
+                    {**base, "event": "stop", **d.to_dict()}) + "\n")
+            fh.write(json.dumps({
+                **base,
+                "event": "summary",
+                "policy": pol.describe(),
+                "replicates_used": report.replicates_used,
+                "replicates_budget": report.replicates_budget,
+                "saved_fraction": round(report.saved_fraction, 4),
+                "waves": report.waves,
+            }) + "\n")
+    except OSError:  # audit must never kill the campaign
+        pass

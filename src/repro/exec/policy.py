@@ -17,9 +17,17 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.adaptive import AdaptivePolicy
 
 __all__ = ["ExecPolicy", "configure", "current_policy", "using"]
+
+#: Backend names accepted by :attr:`ExecPolicy.backend` (see
+#: :mod:`repro.exec.backends`); ``auto`` resolves to ``serial`` for one
+#: worker and ``pool`` otherwise.
+BACKEND_CHOICES = ("auto", "serial", "pool", "warm", "filestore")
 
 
 @dataclass(slots=True, frozen=True)
@@ -50,6 +58,21 @@ class ExecPolicy:
         Emit progress lines on stderr and a JSONL run log.
     log_dir:
         Directory for JSONL run logs (default: ``results/cache/runs``).
+    backend:
+        Execution backend (see :mod:`repro.exec.backends`): ``auto``
+        (serial for one worker, process pool otherwise), ``serial``,
+        ``pool``, ``warm`` (persistent work-stealing pool), or
+        ``filestore`` (cooperating launchers over the cell directory).
+    claim_ttl_s:
+        File-store backend only: age beyond which a claim whose owner
+        cannot be probed (foreign host) is presumed dead and reaped.
+        Same-host claims are reaped as soon as their PID is gone.
+    adaptive:
+        Optional :class:`~repro.exec.adaptive.AdaptivePolicy`.  When set,
+        campaign entry points that understand replication (``replicate``,
+        the figure sweeps, DSE evaluation) stop buying seeds for cells
+        whose confidence interval is already tight.  ``None`` (default)
+        keeps the fixed-budget behaviour byte-identical to before.
     """
 
     workers: int = 1
@@ -60,6 +83,9 @@ class ExecPolicy:
     checkpoint: bool | None = None
     progress: bool = False
     log_dir: Path | None = None
+    backend: str = "auto"
+    claim_ttl_s: float = 600.0
+    adaptive: "AdaptivePolicy | None" = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -68,10 +94,26 @@ class ExecPolicy:
             raise ValueError(f"retries must be ≥ 0, got {self.retries}")
         if self.task_timeout_s is not None and self.task_timeout_s <= 0:
             raise ValueError("task_timeout_s must be positive or None")
+        if self.backend not in BACKEND_CHOICES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_CHOICES}, got {self.backend!r}"
+            )
+        if self.claim_ttl_s <= 0:
+            raise ValueError("claim_ttl_s must be positive")
+
+    @property
+    def effective_backend(self) -> str:
+        """``auto`` resolved to a concrete backend name."""
+        if self.backend == "auto":
+            return "serial" if self.workers <= 1 else "pool"
+        return self.backend
 
     @property
     def wants_checkpoint(self) -> bool:
-        """Effective checkpointing switch (auto-on for parallel/resume)."""
+        """Effective checkpointing switch (auto-on for parallel/resume/
+        filestore — the latter communicates *through* checkpoints)."""
+        if self.backend == "filestore":
+            return True
         if self.checkpoint is not None:
             return self.checkpoint
         return self.resume or self.workers > 1

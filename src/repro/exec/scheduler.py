@@ -1,45 +1,45 @@
-"""Campaign scheduler: serial or process-pool execution with isolation.
+"""Campaign scheduler: orchestration over pluggable execution backends.
 
 The :class:`CampaignExecutor` runs a :class:`~repro.exec.task.Campaign`
 under an :class:`~repro.exec.policy.ExecPolicy`:
 
-* ``workers == 1``: cells execute in-process, in task order — the
-  historical serial behaviour.
-* ``workers > 1``: cells fan out over a ``ProcessPoolExecutor``.  Failure
+* ``backend="serial"`` (the ``auto`` default at ``workers == 1``): cells
+  execute in-process, in task order — the historical serial behaviour,
+  with the historical retry-in-place loop.
+* Any other backend (``pool``, ``warm``, ``filestore`` — see
+  :mod:`repro.exec.backends`): cells fan out in retry *rounds*.  Failure
   containment is layered: simulation errors and wall-clock timeouts are
   returned as structured failures by the worker (retried with exponential
-  backoff up to ``retries`` times); hard process death (segfault, OOM
-  kill) breaks the pool, which the scheduler rebuilds — tasks that were
-  in flight are requeued under a separate, small crash budget so one
-  poisoned cell cannot sink its innocent neighbours, yet a cell that
+  backoff up to ``retries`` times); hard process death is reported by the
+  backend as a *crash suspect* under a separate, small crash budget, so
+  one poisoned cell cannot sink its innocent neighbours, yet a cell that
   kills every worker it touches is eventually recorded as failed and the
   campaign completes without it.
 
 Completed cells are checkpointed per-task (see
 :mod:`repro.exec.checkpoint`); with ``resume=True`` they are loaded
-instead of recomputed.  Outcomes are always reassembled in task order, so
-parallel aggregates are byte-identical to serial ones.
+instead of recomputed.  Cells that end up *failed* are written to the
+quarantine directory (``results/cache/quarantine/<task_id>.json``) with
+their full error record, so a post-mortem never depends on scrollback.
+Outcomes are always reassembled in task order, so parallel aggregates are
+byte-identical to serial ones.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Sequence
 
+from repro.exec.backends import Backend, PoolBackend, make_backend
 from repro.exec.checkpoint import CheckpointStore
 from repro.exec.policy import ExecPolicy, current_policy
 from repro.exec.progress import ProgressReporter
 from repro.exec.task import Campaign, Task
-from repro.exec.worker import (
-    execute_payload,
-    payload_for_config,
-    watch_parent,
-)
-from repro.experiments.cache import cache_dir
+from repro.exec.worker import execute_payload, payload_for_config
+from repro.experiments.cache import atomic_write_json, cache_dir
 from repro.experiments.runner import ScenarioResult
 from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.serialization import result_from_dict, result_to_dict
@@ -48,8 +48,14 @@ __all__ = [
     "CampaignExecutor",
     "CampaignResult",
     "TaskOutcome",
+    "quarantine_dir",
     "run_configs",
 ]
+
+
+def quarantine_dir() -> Path:
+    """Directory holding one JSON record per terminally failed cell."""
+    return cache_dir() / "quarantine"
 
 
 @dataclass(slots=True)
@@ -97,6 +103,11 @@ class CampaignResult:
     def failures(self) -> list[TaskOutcome]:
         return [o for o in self.outcomes if not o.ok]
 
+    @property
+    def replicate_seconds(self) -> float:
+        """Summed fresh-run wall time — the campaign's compute spend."""
+        return sum(o.duration_s for o in self.outcomes if o.source == "run")
+
     def results(self, strict: bool = True) -> list[ScenarioResult]:
         """Results in task order; raises on any failure when ``strict``."""
         if strict and self.failed:
@@ -120,10 +131,12 @@ class CampaignExecutor:
         policy: ExecPolicy | None = None,
         store: CheckpointStore | None = None,
         reporter: ProgressReporter | None = None,
+        backend: Backend | None = None,
     ) -> None:
         self.policy = policy
         self.store = store
         self.reporter = reporter
+        self.backend = backend
 
     # ------------------------------------------------------------------ #
     def run(self, campaign: Campaign) -> CampaignResult:
@@ -151,6 +164,8 @@ class CampaignExecutor:
                 # Reserialising the reconstructed result is exact
                 # (shortest-repr floats round-trip).
                 store.store(outcome.task.task_id, result_to_dict(outcome.result))
+            if not outcome.ok:
+                self._quarantine(campaign, outcome)
             if reporter is not None:
                 reporter.task_finished(outcome)
 
@@ -173,10 +188,18 @@ class CampaignExecutor:
                 pending.append(i)
 
         if pending:
-            if policy.workers <= 1:
-                self._run_serial(campaign, pending, policy, record)
-            else:
-                self._run_parallel(campaign, pending, policy, record)
+            backend = self.backend
+            if backend is None:
+                backend = make_backend(policy, store=store)
+            try:
+                if policy.effective_backend == "serial":
+                    self._run_serial(campaign, pending, policy, record)
+                else:
+                    self._run_rounds(
+                        campaign, pending, policy, record, backend
+                    )
+            finally:
+                backend.close()
 
         ordered = [outcomes[i] for i in range(len(campaign.tasks))]
         result = CampaignResult(campaign, ordered, time.monotonic() - t0)
@@ -204,15 +227,18 @@ class CampaignExecutor:
                 record(i, self._fail_outcome(task, out, attempt))
                 break
 
-    def _run_parallel(self, campaign, pending, policy, record) -> None:
-        # Crash containment: when a worker dies hard, the whole pool
-        # breaks and every unfinished future is indistinguishable from the
-        # victim.  All of them are requeued as *suspects* and re-run one
-        # per single-task pool, so a poisoned cell can only break its own
-        # pool.  A cell that crashes ``crash_limit`` times (once shared,
-        # then solo) is recorded as failed; innocents complete solo on
-        # their first quarantined run.
+    def _run_rounds(self, campaign, pending, policy, record, backend) -> None:
+        # Crash containment: a backend that cannot attribute a hard worker
+        # death to one cell (the fresh-pool backend: the whole pool breaks)
+        # reports every unfinished in-flight cell as a *suspect*.  Suspects
+        # re-run one per single-task batch, so a poisoned cell can only
+        # break its own pool.  A cell that crashes ``crash_limit`` times
+        # (once shared, then solo) is recorded as failed; innocents
+        # complete solo on their first quarantined run.  Backends with
+        # exact attribution (warm pool, filestore) simply report fewer
+        # suspects.
         crash_limit = max(2, policy.retries + 1)
+        solo_isolation = isinstance(backend, PoolBackend)
         queue: list[tuple[int, int, int]] = [(i, 1, 0) for i in pending]
         round_no = 0
         while queue:
@@ -250,71 +276,42 @@ class CampaignExecutor:
                 else:
                     retry.append((index, attempt, crashes))
 
-            fresh = [entry for entry in batch if entry[2] == 0]
-            suspects = [entry for entry in batch if entry[2] > 0]
+            if solo_isolation:
+                fresh = [e for e in batch if e[2] == 0]
+                suspects = [e for e in batch if e[2] > 0]
+            else:
+                fresh, suspects = list(batch), []
 
             if fresh:
-                self._run_pool(
-                    campaign, fresh, policy, min(policy.workers, len(fresh)),
-                    absorb, crashed,
+                backend.run_batch(
+                    campaign, fresh, policy,
+                    min(policy.workers, len(fresh)), absorb, crashed,
                 )
             for entry in suspects:
-                self._run_pool(
+                backend.run_batch(
                     campaign, [entry], policy, 1, absorb, crashed
                 )
             queue = retry
 
-    def _run_pool(
-        self, campaign, batch, policy, workers, absorb, crashed
-    ) -> None:
-        """One pool over ``batch``; crash-suspect entries go to ``crashed``."""
-        pool = ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=watch_parent,
-            initargs=(os.getpid(),),
-        )
-        futures = {
-            pool.submit(
-                execute_payload,
-                payload_for_config(
-                    campaign.tasks[i].config, policy.task_timeout_s
-                ),
-            ): (i, attempt, crashes)
-            for i, attempt, crashes in batch
-        }
+    # ------------------------------------------------------------------ #
+    def _quarantine(self, campaign: Campaign, outcome: TaskOutcome) -> None:
+        """Persist a terminally failed cell's forensics record."""
         try:
-            for fut in as_completed(futures):
-                i, attempt, crashes = futures.pop(fut)
-                try:
-                    out = fut.result()
-                except BrokenProcessPool:
-                    futures[fut] = (i, attempt, crashes)
-                    raise
-                except Exception as exc:  # e.g. result unpickling
-                    out = {
-                        "ok": False,
-                        "kind": "error",
-                        "error": repr(exc),
-                        "duration_s": 0.0,
-                    }
-                absorb(i, attempt, crashes, out)
-        except BrokenProcessPool:
-            # A worker died hard.  Finished futures that slipped through
-            # before the break are absorbed normally; the rest (victim
-            # plus in-flight/queued siblings) become crash suspects.
-            for fut, (i, attempt, crashes) in futures.items():
-                out = None
-                if fut.done() and not fut.cancelled():
-                    try:
-                        out = fut.result()
-                    except Exception:
-                        out = None
-                if out is not None:
-                    absorb(i, attempt, crashes, out)
-                else:
-                    crashed(i, attempt, crashes)
-        finally:
-            pool.shutdown(wait=True, cancel_futures=True)
+            atomic_write_json(
+                quarantine_dir() / f"{outcome.task.task_id}.json",
+                {
+                    "campaign": campaign.name,
+                    "task_id": outcome.task.task_id,
+                    "task": outcome.task.describe(),
+                    "kind": outcome.kind,
+                    "error": outcome.error,
+                    "attempts": outcome.attempts,
+                    "seed": outcome.task.config.seed,
+                    "protocol": outcome.task.config.protocol,
+                },
+            )
+        except OSError:  # forensics must never kill the campaign
+            pass
 
     # ------------------------------------------------------------------ #
     @staticmethod

@@ -15,7 +15,11 @@ main thread) the limit is simply not enforced.
 Chaos hook: set ``REPRO_EXEC_FAULT=exit:<seed>`` (hard process death) or
 ``hang:<seed>`` (never returns) to make the worker misbehave for exactly
 that seed — this is how the crash-isolation tests and the resumability
-demo kill a worker mid-campaign deterministically.
+demo kill a worker mid-campaign deterministically.  The *once* variants
+``error_once:<seed>:<dir>`` and ``hang_once:<seed>:<dir>`` misbehave only
+on the first attempt (a marker file in ``<dir>`` records that the fault
+fired), which is how retry-after-failure and retry-after-timeout ordering
+are exercised across process boundaries.
 """
 
 from __future__ import annotations
@@ -92,12 +96,26 @@ def _maybe_inject_fault(seed: int) -> None:
     spec = os.environ.get(FAULT_ENV, "")
     if not spec:
         return
-    kind, _, target = spec.partition(":")
+    kind, _, rest = spec.partition(":")
+    target, _, arg = rest.partition(":")
     if target != str(seed):
         return
     if kind == "exit":
         os._exit(13)  # simulates a segfaulted worker: no cleanup, no result
     if kind == "hang":
+        time.sleep(3600.0)
+    if kind in ("error_once", "hang_once"):
+        # One-shot faults coordinate across processes via a marker file in
+        # the directory given as the third spec field: O_EXCL creation
+        # means exactly one attempt — the first — sees the fault.
+        marker = os.path.join(arg, f"fault-{kind}-{seed}.fired")
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            os.close(fd)
+        except FileExistsError:
+            return  # already fired: behave normally on this attempt
+        if kind == "error_once":
+            raise RuntimeError(f"injected one-shot error for seed {seed}")
         time.sleep(3600.0)
 
 

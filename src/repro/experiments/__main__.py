@@ -12,7 +12,11 @@ Usage::
 ``--workers N`` fans the sweep cells of each figure out over N worker
 processes (tables stay byte-identical to serial runs); ``--resume`` picks
 an interrupted regeneration back up from its per-cell checkpoints instead
-of recomputing finished cells.
+of recomputing finished cells.  ``--backend`` selects how workers run
+(``pool``/``warm``/``filestore`` — see docs/CAMPAIGNS.md) and
+``--adaptive METRIC:HALFWIDTH[:MIN_REPS]`` turns replication counts into
+budgets with sequential-CI early stopping (``--no-adaptive`` is the
+explicit fixed-budget default, byte-identical to historical output).
 """
 
 from __future__ import annotations
@@ -20,7 +24,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.exec import configure
+from repro.exec import configure, parse_adaptive_spec
+from repro.exec.policy import BACKEND_CHOICES
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.report import write_experiments_md
 
@@ -61,15 +66,42 @@ def main(argv: list[str] | None = None) -> int:
         "--retries", type=int, default=1, metavar="N",
         help="re-attempts per failed/timed-out cell (default 1)",
     )
+    parser.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default="auto",
+        help="execution backend (auto = serial at --workers 1, else pool)",
+    )
+    parser.add_argument(
+        "--claim-ttl", type=float, default=600.0, metavar="S",
+        help="filestore backend: age after which a foreign-host claim "
+             "file is considered stale (default 600)",
+    )
+    parser.add_argument(
+        "--adaptive", default=None, metavar="METRIC:HW[:MIN_REPS]",
+        help="stop replicating a cell once METRIC's 95%% CI half-width "
+             "is ≤ HW (e.g. pdr:0.01:3); replication counts become budgets",
+    )
+    parser.add_argument(
+        "--no-adaptive", action="store_true",
+        help="force the fixed-budget path (the default; wins over --adaptive)",
+    )
     args = parser.parse_args(argv)
 
     if args.workers < 1:
         parser.error("--workers must be ≥ 1")
+    adaptive = None
+    if args.adaptive and not args.no_adaptive:
+        try:
+            adaptive = parse_adaptive_spec(args.adaptive)
+        except ValueError as exc:
+            parser.error(str(exc))
     configure(
         workers=args.workers,
         resume=args.resume,
         task_timeout_s=args.task_timeout,
         retries=args.retries,
+        backend=args.backend,
+        claim_ttl_s=args.claim_ttl,
+        adaptive=adaptive,
         # Progress/telemetry once execution is more than a plain serial loop.
         progress=args.workers > 1 or args.resume,
     )

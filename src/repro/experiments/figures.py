@@ -24,8 +24,8 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.analysis.stats import summarize
-from repro.exec import run_configs
-from repro.experiments.cache import cached
+from repro.exec import current_policy, run_adaptive_cells, run_configs
+from repro.experiments.cache import cache_dir, cached
 from repro.experiments.runner import ScenarioResult
 from repro.experiments.scenario import ScenarioConfig
 from repro.metrics.fairness import jain_index, load_concentration
@@ -112,6 +112,18 @@ def _summarize_cell(results: Sequence[ScenarioResult]) -> dict[str, float]:
     return out
 
 
+def _adaptive_tag() -> str | None:
+    """Cache-key discriminator for the active adaptive policy (or ``None``).
+
+    Adaptive summaries use fewer replicates, so they must never share a
+    cache entry with fixed-budget ones; callers add this tag to their
+    ``cached`` params only when a policy is active, keeping the default
+    path's cache keys bit-for-bit historical.
+    """
+    adaptive = current_policy().adaptive
+    return adaptive.describe() if adaptive is not None else None
+
+
 def _replicated_cells(
     name: str,
     cells: Sequence[tuple[Any, ScenarioConfig]],
@@ -124,7 +136,25 @@ def _replicated_cells(
     across the whole grid, not just within one cell.  Results are grouped
     back in task order — aggregation never sees completion order, which
     keeps parallel output byte-identical to serial.
+
+    When the process-wide policy carries an
+    :class:`~repro.exec.AdaptivePolicy`, ``n_runs`` becomes the per-cell
+    *budget*: replication proceeds in waves (each wave one campaign across
+    every unconverged cell) and stops per cell once the declared metric's
+    CI half-width is tight — see :mod:`repro.exec.adaptive`.
     """
+    adaptive = current_policy().adaptive
+    if adaptive is not None and n_runs >= 2:
+        keyed = [(f"c{i}", config) for i, (_, config) in enumerate(cells)]
+        log_dir = current_policy().log_dir or cache_dir() / "runs"
+        report = run_adaptive_cells(
+            name, keyed, n_budget=n_runs, adaptive=adaptive,
+            audit_path=log_dir / f"adaptive-{name}.jsonl",
+        )
+        return {
+            key: _summarize_cell(report.results[f"c{i}"])
+            for i, (key, _) in enumerate(cells)
+        }
     keys: list[Any] = []
     configs: list[ScenarioConfig] = []
     tags: list[str] = []
@@ -162,6 +192,8 @@ def _protocol_sweep(
         "n_runs": n_runs,
         "variant": variant,
     }
+    if _adaptive_tag() is not None:
+        params["adaptive"] = _adaptive_tag()
 
     def compute() -> dict[str, dict[str, dict[str, float]]]:
         cells = [
@@ -186,10 +218,14 @@ def _protocol_sweep(
 # load-aware path selection has alternatives to choose between; the
 # contention knee for 10 two-gateway CBR flows sits near 50 pps/flow.
 def _load_sweep_base(quick: bool) -> tuple[ScenarioConfig, list[float]]:
+    # batched_kernel: byte-identical to the scalar engine (the kernel tests
+    # and benchmarks/baseline.py A/B pairs cross-check it every run), just
+    # faster at sweep scale.
     base = ScenarioConfig(
         grid_nx=5, grid_ny=5, spacing_m=230.0, n_flows=10,
         flow_pattern="gateway", n_gateways=2,
         sim_time_s=25.0 if quick else 40.0, warmup_s=5.0, seed=100,
+        batched_kernel=True,
     )
     rates = [15.0, 30.0, 45.0, 60.0, 75.0]
     return base, rates
@@ -201,6 +237,7 @@ def _size_sweep_base(quick: bool) -> tuple[ScenarioConfig, list[int]]:
     base = ScenarioConfig(
         spacing_m=230.0, flow_pattern="random", flow_rate_pps=40.0,
         sim_time_s=20.0 if quick else 40.0, warmup_s=5.0, seed=200,
+        batched_kernel=True,
     )
     sizes = [3, 4, 5] if quick else [3, 4, 5, 6]
     return base, sizes
@@ -211,7 +248,7 @@ def _size_sweep_base(quick: bool) -> tuple[ScenarioConfig, list[int]]:
 REFERENCE_POINT = dict(
     grid_nx=5, grid_ny=5, spacing_m=230.0, n_flows=10,
     flow_pattern="gateway", n_gateways=2, flow_rate_pps=50.0,
-    warmup_s=5.0, seed=300,
+    warmup_s=5.0, seed=300, batched_kernel=True,
 )
 
 
@@ -542,6 +579,8 @@ def table2_summary(quick: bool = True) -> FigureResult:
     n_runs = _point_reps(quick)
     params = {"point": REFERENCE_POINT, "protocols": protocols, "n_runs": n_runs,
               "quick": quick}
+    if _adaptive_tag() is not None:
+        params["adaptive"] = _adaptive_tag()
 
     def compute() -> dict[str, dict[str, float]]:
         cells = [
@@ -604,6 +643,8 @@ def _ablation(
     n_runs = _point_reps(quick)
     params = {"point": REFERENCE_POINT, "protocols": list(protocols),
               "n_runs": n_runs, "quick": quick}
+    if _adaptive_tag() is not None:
+        params["adaptive"] = _adaptive_tag()
 
     def compute() -> dict[str, dict[str, float]]:
         cells = [
@@ -743,6 +784,8 @@ def ext_rtscts(quick: bool = True) -> FigureResult:
     n_runs = _point_reps(quick)
     params = {"point": REFERENCE_POINT, "protocols": list(protocols),
               "n_runs": n_runs, "quick": quick}
+    if _adaptive_tag() is not None:
+        params["adaptive"] = _adaptive_tag()
 
     def compute() -> dict[str, dict[str, float]]:
         cells = [

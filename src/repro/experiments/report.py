@@ -78,7 +78,12 @@ Parallel regeneration (``--workers N``) produces byte-identical figures
 to a serial run — fixed-seed cells are bit-deterministic across
 processes and the executor reassembles them in task order.  An
 interrupted regeneration continues from per-cell checkpoints with
-``--resume``.
+``--resume``.  ``--backend`` picks the execution backend (process pool,
+persistent warm pool, or multi-launcher ``filestore``) and ``--adaptive
+pdr:0.02`` replicates each cell only until its 95 % CI half-width meets
+the declared target (``--no-adaptive`` forces the fixed budget; the
+per-cell stop decisions are logged to a JSONL audit file) — see
+docs/CAMPAIGNS.md.
 
 The protocol parameters these figures hold fixed can themselves be
 searched: ``repro-dse`` runs factorial screenings and seeded

@@ -9,7 +9,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.exec import ExecPolicy
+    from repro.exec import AdaptivePolicy, ExecPolicy
 
 from repro.analysis.stats import ConfidenceInterval, summarize
 from repro.experiments.scenario import Network, ScenarioConfig, build_network
@@ -120,8 +120,9 @@ def replicate(
     base_seed: int | None = None,
     level: float = 0.95,
     policy: ExecPolicy | None = None,
+    adaptive: "AdaptivePolicy | None" = None,
 ) -> tuple[list[ScenarioResult], dict[str, ConfidenceInterval]]:
-    """Run ``config`` under ``n_runs`` seeds; return runs + mean ± CI.
+    """Run ``config`` under up to ``n_runs`` seeds; return runs + mean ± CI.
 
     Seeds are ``base_seed + k`` (default base: ``config.seed``), so a
     replication set is itself reproducible.
@@ -133,16 +134,36 @@ def replicate(
     seeds out over worker processes and/or resume from checkpoints.
     Results come back in seed order either way, so summaries are
     byte-identical across execution modes.
+
+    With an :class:`~repro.exec.AdaptivePolicy` (explicit argument, or the
+    one carried by the effective exec policy), ``n_runs`` becomes the
+    *budget*: replication stops as soon as the declared metric's
+    confidence half-width is tight (see :mod:`repro.exec.adaptive`), so
+    the returned list may be a seed-ladder prefix.  Without one, the
+    fixed-budget path is bit-for-bit the historical behaviour.
     """
     if n_runs < 1:
         raise ValueError(f"need ≥ 1 run, got {n_runs}")
     # Imported here: repro.exec sits on top of this module.
-    from repro.exec import run_configs
+    from repro.exec import current_policy, run_adaptive_cells, run_configs
 
+    if adaptive is None:
+        adaptive = (policy if policy is not None else current_policy()).adaptive
     base = config.seed if base_seed is None else base_seed
-    configs = [replace(config, seed=base + k) for k in range(n_runs)]
-    results = run_configs(
-        f"replicate-{config.protocol}", configs, policy=policy
-    )
+    seeded = replace(config, seed=base)
+    if adaptive is not None and n_runs >= 2:
+        report = run_adaptive_cells(
+            f"replicate-{config.protocol}",
+            [("cell", seeded)],
+            n_budget=n_runs,
+            adaptive=adaptive,
+            policy=policy,
+        )
+        results = report.results["cell"]
+    else:
+        configs = [replace(config, seed=base + k) for k in range(n_runs)]
+        results = run_configs(
+            f"replicate-{config.protocol}", configs, policy=policy
+        )
     summary = summarize([r.as_dict() for r in results], level=level)
     return results, summary

@@ -4,7 +4,14 @@ import math
 
 import pytest
 
-from repro.analysis.stats import ConfidenceInterval, mean_ci, summarize
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    mean_ci,
+    reps_to_target,
+    sequential_halfwidth,
+    summarize,
+    t_critical,
+)
 
 
 class TestMeanCi:
@@ -97,3 +104,66 @@ class TestSummarize:
 
     def test_empty_rows(self):
         assert summarize([]) == {}
+
+
+class TestSequentialHelpers:
+    """Degenerate-input behaviour of the adaptive-stopping statistics.
+
+    These pins matter: ``sequential_halfwidth`` decides whether a campaign
+    stops buying replicates, so its edge cases must err conservative —
+    and must *disagree* with the report-facing ``mean_ci`` at n = 1.
+    """
+
+    def test_t_critical_matches_textbook(self):
+        assert t_critical(10, 0.95) == pytest.approx(2.262, abs=1e-3)
+
+    def test_t_critical_needs_two_samples(self):
+        with pytest.raises(ValueError, match="n ≥ 2"):
+            t_critical(1)
+
+    def test_t_critical_level_bounds(self):
+        with pytest.raises(ValueError, match="level"):
+            t_critical(5, 1.0)
+
+    def test_halfwidth_empty_is_inf(self):
+        assert math.isinf(sequential_halfwidth([]))
+
+    def test_halfwidth_single_sample_is_inf(self):
+        # A stopping rule must never conclude from one observation —
+        # even though mean_ci reports 0.0 for the same input.
+        assert math.isinf(sequential_halfwidth([1.0]))
+        assert mean_ci([1.0]).half_width == 0.0
+
+    def test_halfwidth_nans_dropped_before_count(self):
+        assert math.isinf(sequential_halfwidth([float("nan"), 1.0]))
+
+    def test_halfwidth_zero_variance_is_zero(self):
+        assert sequential_halfwidth([2.0, 2.0, 2.0]) == 0.0
+
+    def test_halfwidth_matches_mean_ci_when_regular(self):
+        values = [1.0, 2.0, 3.0, 5.0]
+        assert sequential_halfwidth(values) \
+            == pytest.approx(mean_ci(values).half_width)
+
+    def test_halfwidth_shrinks_with_n(self):
+        narrow = sequential_halfwidth([1.0, 2.0] * 8)
+        wide = sequential_halfwidth([1.0, 2.0])
+        assert narrow < wide
+
+    def test_reps_to_target_needs_variance_estimate(self):
+        assert reps_to_target([], 0.1) == 1
+        assert reps_to_target([1.0], 0.1) == 2
+
+    def test_reps_to_target_nonpositive_target(self):
+        assert reps_to_target([1.0, 2.0], 0.0) == 3
+
+    def test_reps_to_target_zero_variance_is_satisfied(self):
+        assert reps_to_target([2.0, 2.0, 2.0], 0.001) == 3
+
+    def test_reps_to_target_never_below_current_n(self):
+        assert reps_to_target([1.0, 1.001, 0.999], 100.0) == 3
+
+    def test_reps_to_target_grows_for_tight_targets(self):
+        loose = reps_to_target([1.0, 2.0, 3.0], 1.0)
+        tight = reps_to_target([1.0, 2.0, 3.0], 0.01)
+        assert tight > loose > 0
